@@ -1,0 +1,55 @@
+// Figure 11: FCT slowdown versus the inter/intra RTT ratio.
+//
+// The realistic 40%-load mix is repeated while the inter-DC propagation
+// delay grows so that inter-RTT/intra-RTT covers {8, 32, 128, 512}
+// (intra RTT fixed at 14 us). Reported: mean and p99 FCT *slowdown*
+// (FCT / unloaded ideal at that RTT). Paper expectation: MPRDMA+BBR edges
+// out Uno at tiny ratios (phantom-queue headroom tax), but as the gap
+// approaches real WAN ratios Uno wins by growing factors.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "workload/cdf.hpp"
+
+using namespace uno;
+
+int main() {
+  bench::print_header("Figure 11", "slowdown vs inter/intra RTT ratio, 40% load");
+  const double size_scale = 1.0 / 32.0;
+  const EmpiricalCdf intra_sizes = EmpiricalCdf::websearch().scaled(size_scale * bench::scale());
+  const EmpiricalCdf inter_sizes = EmpiricalCdf::alibaba_wan().scaled(size_scale * bench::scale());
+  const Time duration = bench::scaled_time(4 * kMillisecond);
+  const int active_hosts = 64;
+
+  const SchemeSpec schemes[] = {SchemeSpec::uno(), SchemeSpec::gemini(),
+                                SchemeSpec::mprdma_bbr()};
+  for (const int ratio : {8, 32, 128, 512}) {
+    Table t({"scheme", "mean slowdown", "p99 slowdown", "inter p99 slowdown", "done"});
+    const Time inter_rtt = ratio * 14 * kMicrosecond;
+    for (const SchemeSpec& scheme : schemes) {
+      ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.seed = bench::seed();
+      cfg.uno.inter_rtt = inter_rtt;
+      Experiment ex(cfg);
+      PoissonConfig pc;
+      pc.load = 0.4;
+      pc.duration = duration;
+      pc.active_hosts = active_hosts;
+      pc.seed = bench::seed();
+      auto specs = make_poisson_mixed(bench::hosts_of(ex), intra_sizes, inter_sizes, pc);
+      ex.spawn_all(specs);
+      const bool done = ex.run_to_completion(kSecond + 4 * inter_rtt * 100);
+      const auto all = ex.fct().summarize();
+      const auto inter = ex.fct().summarize(FctCollector::Class::kInter);
+      t.add_row({scheme.name, Table::fmt(all.mean_slowdown, 2),
+                 Table::fmt(all.p99_slowdown, 2), Table::fmt(inter.p99_slowdown, 2),
+                 done ? "yes" : "no"});
+    }
+    char title[64];
+    std::snprintf(title, sizeof(title), "inter/intra RTT ratio = %d (inter RTT %.2f ms)",
+                  ratio, to_milliseconds(inter_rtt));
+    t.print(title);
+  }
+  return 0;
+}

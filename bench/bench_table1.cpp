@@ -1,0 +1,85 @@
+// Table 1: packet-loss statistics of the calibrated Gilbert–Elliott models.
+//
+// The paper measured 320M 2 KiB packets between Azure region pairs and
+// reported, per 10-packet chunk, how often exactly 1/2/3 packets were lost
+// (normalized by total packets). Those chunk counts imply strongly
+// correlated drops. This bench drives the two calibrated models with the
+// same chunking and prints model-vs-paper rates side by side.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "net/loss.hpp"
+
+using namespace uno;
+
+namespace {
+
+struct ChunkStats {
+  double loss_rate = 0;
+  double rate1 = 0, rate2 = 0, rate3 = 0;  // chunks with exactly k losses / packets
+};
+
+ChunkStats run_model(const BurstLoss::Params& params, std::uint64_t packets,
+                     std::uint64_t seed) {
+  BurstLoss model(params, Rng(seed));
+  std::uint64_t lost = 0, c1 = 0, c2 = 0, c3 = 0;
+  const std::uint64_t chunks = packets / 10;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    int k = 0;
+    for (int i = 0; i < 10; ++i)
+      if (model.should_drop(0)) ++k;
+    lost += k;
+    if (k == 1) ++c1;
+    if (k == 2) ++c2;
+    if (k >= 3) ++c3;
+  }
+  const double n = static_cast<double>(chunks) * 10.0;
+  return {static_cast<double>(lost) / n, static_cast<double>(c1) / n,
+          static_cast<double>(c2) / n, static_cast<double>(c3) / n};
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1", "correlated WAN loss: model vs paper");
+  // Paper rates are (chunks with exactly k losses) / (total packets). The
+  // paper sent 320M packets; we default to 40M per setup (seconds of CPU)
+  // and scale with UNO_BENCH_SCALE.
+  const auto packets = static_cast<std::uint64_t>(40e6 * bench::scale());
+
+  struct Setup {
+    const char* name;
+    BurstLoss::Params params;
+    double paper_loss, paper1, paper2, paper3;
+  };
+  const Setup setups[] = {
+      {"Setup 1 (65ms RTT)", BurstLoss::table1_setup1(), 5.01e-5, 3.0e-4 / 320 * 10,
+       7.5e-5 / 320 * 10, 1.6e-5 / 320 * 10},
+      {"Setup 2 (33ms RTT)", BurstLoss::table1_setup2(), 1.22e-5, 4.0e-5 / 320 * 10,
+       2.3e-5 / 320 * 10, 4.9e-6 / 320 * 10},
+  };
+  // NOTE on paper normalization: Table 1 lists chunk counts out of 320M
+  // packets alongside "loss rates" whose normalization is internally
+  // inconsistent with the stated 5.01e-5 average; we calibrate against the
+  // *average per-packet loss rate* and the *relative* 1:2:3 chunk ratios,
+  // which are the quantities the failure experiments actually consume.
+  for (const Setup& s : setups) {
+    const ChunkStats m = run_model(s.params, packets, bench::seed());
+    Table t({"metric", "model", "paper target"});
+    t.add_row({"avg per-packet loss", sci(m.loss_rate), sci(s.paper_loss)});
+    t.add_row({"P(chunk has 2)/P(chunk has 1)", Table::fmt(m.rate2 / m.rate1, 3),
+               Table::fmt(s.paper2 / s.paper1, 3)});
+    t.add_row({"P(chunk has >=3)/P(chunk has 1)", Table::fmt(m.rate3 / m.rate1, 3),
+               Table::fmt(s.paper3 / s.paper1, 3)});
+    t.print(s.name);
+  }
+  std::printf("\nIndependent-loss reference: at p=5e-5, P(2 of 10)/P(1 of 10) would be\n"
+              "~2.2e-4 — the measured ~0.25 requires the burst model above.\n");
+  return 0;
+}

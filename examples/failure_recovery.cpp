@@ -1,0 +1,84 @@
+// UnoRC demo: erasure coding + adaptive subflow rerouting under failures.
+//
+// Part 1 uses the Reed–Solomon codec directly on real bytes — encode a
+// block, destroy any two shards, reconstruct bit-exactly.
+// Part 2 runs a WAN transfer while a border link dies mid-flight and bursty
+// random loss (calibrated to the paper's Table 1, amplified) hits the rest,
+// showing EC masking losses without retransmission and UnoLB steering off
+// the dead link.
+//
+//   $ ./failure_recovery
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.hpp"
+#include "fec/rs.hpp"
+#include "lb/loadbalancer.hpp"
+
+using namespace uno;
+
+static void demo_codec() {
+  std::printf("--- Reed-Solomon (8,2) on real bytes ---\n");
+  ReedSolomon rs(8, 2);
+  Rng rng(2024);
+  std::vector<std::vector<std::uint8_t>> shards(10);
+  for (int i = 0; i < 8; ++i) {
+    shards[i].resize(4096);
+    for (auto& b : shards[i]) b = static_cast<std::uint8_t>(rng.uniform_below(256));
+  }
+  rs.encode(shards);
+  const auto original = shards;
+
+  // Lose one data shard and one parity shard "in the network".
+  std::vector<bool> present(10, true);
+  present[3] = present[9] = false;
+  shards[3].clear();
+  shards[9].clear();
+
+  if (!rs.reconstruct(shards, present)) {
+    std::printf("reconstruction failed!\n");
+    return;
+  }
+  const bool exact = shards[3] == original[3] && shards[9] == original[9];
+  std::printf("lost shards 3 (data) and 9 (parity); reconstruction %s\n",
+              exact ? "bit-exact" : "WRONG");
+}
+
+static void demo_transport() {
+  std::printf("\n--- 32 MiB WAN transfer under failures ---\n");
+  for (const bool ec : {false, true}) {
+    ExperimentConfig cfg;
+    cfg.scheme = ec ? SchemeSpec::uno() : SchemeSpec::uno_no_ec();
+    Experiment ex(cfg);
+
+    // Bursty random loss on every WAN link (Table-1 Setup-1 shape, 200x).
+    BurstLoss::Params loss = BurstLoss::table1_setup1();
+    loss.event_rate *= 200;
+    for (int d = 0; d < 2; ++d)
+      for (int j = 0; j < ex.topo().cross_link_count(); ++j)
+        ex.topo().cross_link(d, j).set_loss_model(
+            std::make_unique<BurstLoss>(loss, Rng::stream(7, d * 8 + j)));
+
+    FlowSender& f = ex.spawn({5, 128 + 9, 32 << 20, 0, true});
+    // A border link dies 1 ms in (while the flow is mid-flight).
+    ex.run_until(kMillisecond);
+    ex.topo().cross_link(0, 4).set_up(false);
+    ex.run_to_completion(2 * kSecond);
+
+    auto* lb = dynamic_cast<UnoLb*>(&f.lb());
+    std::printf(
+        "%-7s fct=%7.2f ms  retransmits=%-4llu nacks=%-3llu reroutes=%llu\n",
+        ec ? "uno" : "no-ec", to_milliseconds(f.fct()),
+        static_cast<unsigned long long>(f.retransmits()),
+        static_cast<unsigned long long>(f.nacks_received()),
+        static_cast<unsigned long long>(lb ? lb->reroutes() : 0));
+  }
+  std::printf("(EC absorbs isolated losses with parity — fewer retransmissions,\n"
+              " faster completion; UnoLB reroutes subflows off the dead link.)\n");
+}
+
+int main() {
+  demo_codec();
+  demo_transport();
+  return 0;
+}

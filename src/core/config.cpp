@@ -1,0 +1,4 @@
+#include "core/config.hpp"
+
+// UnoConfig is a plain aggregate; this TU exists so the module has a home
+// for future non-inline helpers and so the header stays dependency-light.

@@ -1,0 +1,80 @@
+// Central experiment configuration — the paper's Table 2 defaults plus the
+// simulator-level knobs derived from §5.1 ("Parameter settings").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+struct UnoConfig {
+  // --- Table 2 -----------------------------------------------------------
+  double alpha_fraction = 0.001;          // UnoCC AI factor (x BDP)
+  double beta = 0.5;                      // UnoCC QA factor
+  double k_fraction = 1.0 / 7.0;          // UnoCC MD constant (x intra BDP)
+  Time intra_rtt = 14 * kMicrosecond;     // intra-DC base RTT
+  Time inter_rtt = 2 * kMillisecond;      // inter-DC base RTT
+  double phantom_drain_fraction = 0.9;    // phantom drain vs physical rate
+
+  // --- fabric ------------------------------------------------------------
+  Bandwidth link_rate = 100 * kGbps;
+  std::int64_t mtu = 4096;
+  std::int64_t queue_capacity = 1 << 20;         // 1 MiB per intra port
+  std::int64_t border_queue_capacity = 1 << 20;  // per WAN-facing port
+  int fattree_k = 8;
+  int num_dcs = 2;  // paper setup; >2 builds a full border mesh
+  int cross_links = 8;
+
+  // --- ECN (RED on instantaneous occupancy, §5.1) -------------------------
+  double red_min_fraction = 0.25;
+  double red_max_fraction = 0.75;
+
+  /// htsim/NDP-style packet trimming at every port: overflowing data packets
+  /// are truncated to headers instead of dropped, giving senders per-packet
+  /// loss notifications (§2.3 cites trimming as the fast-loss-detection
+  /// baseline; the paper's htsim fabric provides it).
+  bool trim_enabled = true;
+
+  // --- phantom-queue sizing (virtual capacity the RED thresholds apply to).
+  // WAN-facing ports get thresholds matched to the inter-DC BDP (the point
+  // of re-purposing phantom queues, §2.3); intra ports to the intra BDP.
+  double phantom_cap_intra_bdp = 1.0;
+  double phantom_cap_inter_bdp = 0.25;
+  // Phantom marking band, as fractions of the virtual capacity. Wider and
+  // flatter than the physical RED band (25/75%): a gentle probability slope
+  // keeps the marking fraction in the single-digit percent range at
+  // equilibrium instead of slamming between 0% and 100%.
+  double phantom_red_min_fraction = 0.15;
+  double phantom_red_max_fraction = 1.0;
+
+  // --- UnoCC mechanism toggles (ablation studies; all on by default) -------
+  /// Epochs clocked at the intra-DC RTT for every flow (§4.1.1, the paper's
+  /// unification). Off = each flow uses its own RTT, i.e. Gemini-style
+  /// per-RTT reaction granularity.
+  bool unocc_unified_epoch = true;
+  bool unocc_enable_qa = true;      // Quick Adapt (§4.1.2)
+  double unocc_gentle_md = 0.3;     // phantom-only MD scale; 1.0 disables
+  bool unocc_enable_pacing = true;  // sender pacing at cwnd/base_rtt
+
+  // --- fabric extensions -----------------------------------------------------
+  /// Intra-fabric oversubscription: edge->agg and agg->core uplinks run at
+  /// link_rate / oversubscription (1.0 = the paper's non-blocking fabric).
+  double oversubscription = 1.0;
+  /// Annulus add-on parameters (used when the scheme sets `annulus`).
+  std::int64_t qcn_threshold = 150'000;          // bytes at a source-side port
+  Time qcn_feedback_delay = 3 * kMicrosecond;    // switch -> source NIC
+  Time qcn_min_interval = 10 * kMicrosecond;     // per-port pacing
+
+  // --- UnoRC ----------------------------------------------------------------
+  int ec_data = 8;    // (8,2) MDS block (§5.2.3)
+  int ec_parity = 2;
+  Time block_timeout = 300 * kMicrosecond;
+  int unolb_subflows = 0;  // 0 -> EC block size (data+parity)
+
+  std::int64_t intra_bdp() const { return bdp_bytes(intra_rtt, link_rate); }
+  std::int64_t inter_bdp() const { return bdp_bytes(inter_rtt, link_rate); }
+  int subflows() const { return unolb_subflows > 0 ? unolb_subflows : ec_data + ec_parity; }
+};
+
+}  // namespace uno

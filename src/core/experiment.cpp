@@ -1,0 +1,190 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uno {
+
+InterDcConfig Experiment::make_topo_config(const UnoConfig& uno, const SchemeSpec& scheme,
+                                           int fattree_k, std::uint64_t seed) {
+  InterDcConfig t;
+  t.k = fattree_k > 0 ? fattree_k : uno.fattree_k;
+  t.num_dcs = uno.num_dcs;
+  t.cross_links = uno.cross_links;
+  t.link_rate = uno.link_rate;
+  t.seed = seed;
+  t.cross_link_latency = t.cross_latency_for_rtt(uno.inter_rtt);
+
+  auto red_for = [&uno](std::int64_t capacity) {
+    RedConfig red;
+    red.enabled = true;
+    red.min_bytes = static_cast<std::int64_t>(uno.red_min_fraction * static_cast<double>(capacity));
+    red.max_bytes = static_cast<std::int64_t>(uno.red_max_fraction * static_cast<double>(capacity));
+    return red;
+  };
+
+  // Intra-DC ports. Trimming is a fabric capability of the htsim-style
+  // switches the paper builds on; it serves all schemes equally.
+  t.queue.rate = uno.link_rate;
+  t.queue.capacity_bytes = uno.queue_capacity;
+  t.queue.trim = uno.trim_enabled;
+  t.queue.red = red_for(uno.queue_capacity);
+  auto phantom_red = [&uno](std::int64_t vcap) {
+    RedConfig red;
+    red.enabled = true;
+    red.min_bytes =
+        static_cast<std::int64_t>(uno.phantom_red_min_fraction * static_cast<double>(vcap));
+    red.max_bytes =
+        static_cast<std::int64_t>(uno.phantom_red_max_fraction * static_cast<double>(vcap));
+    return red;
+  };
+  if (scheme.phantom_marking) {
+    t.queue.phantom.enabled = true;
+    t.queue.phantom.drain_fraction = uno.phantom_drain_fraction;
+    const auto vcap = static_cast<std::int64_t>(uno.phantom_cap_intra_bdp *
+                                                static_cast<double>(uno.intra_bdp()));
+    t.queue.phantom.red = phantom_red(vcap);
+    t.queue.phantom.cap_bytes = vcap;
+  }
+
+  // Host NIC TX port: same marking behaviour but effectively unbounded —
+  // a host's own stack backpressures rather than dropping, so a window
+  // burst larger than a switch buffer queues at the sender (self-inflicted
+  // delay), exactly as in htsim's pacing-at-line-rate sender model.
+  t.nic_queue = t.queue;
+  t.nic_queue.capacity_bytes = 256ll << 20;
+
+  // Uplink (edge->agg, agg->core) ports: same template, but their rate is
+  // divided by the oversubscription factor and they host the QCN probes
+  // when the Annulus add-on is active.
+  t.uplink_queue = t.queue;
+  if (uno.oversubscription > 1.0)
+    t.uplink_queue.rate =
+        static_cast<Bandwidth>(static_cast<double>(uno.link_rate) / uno.oversubscription);
+  if (scheme.annulus) {
+    t.uplink_queue.qcn.enabled = true;
+    t.uplink_queue.qcn.threshold_bytes = uno.qcn_threshold;
+    t.uplink_queue.qcn.min_interval = uno.qcn_min_interval;
+  }
+
+  // WAN-facing ports: same marking strategy, possibly deeper buffers, and
+  // phantom thresholds sized to the inter-DC BDP (§2.3 / §4.1.3).
+  t.border_queue = t.queue;
+  t.border_queue.capacity_bytes = uno.border_queue_capacity;
+  t.border_queue.red = red_for(uno.border_queue_capacity);
+  if (scheme.phantom_marking) {
+    const auto vcap = static_cast<std::int64_t>(uno.phantom_cap_inter_bdp *
+                                                static_cast<double>(uno.inter_bdp()));
+    t.border_queue.phantom.red = phantom_red(vcap);
+    t.border_queue.phantom.cap_bytes = vcap;
+  }
+  if (scheme.annulus) {
+    // core->border ports are source-side too (§2.2: Annulus helps when the
+    // hot spot is near the source, before the datacenter boundary).
+    t.border_queue.qcn.enabled = true;
+    t.border_queue.qcn.threshold_bytes = uno.qcn_threshold;
+    t.border_queue.qcn.min_interval = uno.qcn_min_interval;
+  }
+  return t;
+}
+
+void QcnDispatcher::notify(const Packet& p) {
+  if (p.src_host < 0 || p.type != PacketType::kData) return;
+  pending_.push_back({eq_.now() + delay_, p.src_host, p.flow_id});
+  if (pending_.size() == 1) eq_.schedule_at(pending_.front().due, this);
+}
+
+void QcnDispatcher::on_event(std::uint32_t) {
+  const PendingQcn q = pending_.front();
+  pending_.pop_front();
+  Packet p;
+  p.type = PacketType::kQcn;
+  p.flow_id = q.flow_id;
+  p.size = kAckSize;
+  ++delivered_;
+  topo_.host(q.host).receive(std::move(p));
+  if (!pending_.empty()) eq_.schedule_at(pending_.front().due, this);
+}
+
+Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
+  topo_ = std::make_unique<InterDcTopology>(
+      eq_, make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed));
+  fct_ = FctCollector(
+      FctCollector::pipe_ideal(cfg_.uno.link_rate, cfg_.uno.intra_rtt, cfg_.uno.inter_rtt));
+  if (cfg_.scheme.annulus) {
+    qcn_ = std::make_unique<QcnDispatcher>(eq_, *topo_, cfg_.uno.qcn_feedback_delay);
+    for (int d = 0; d < topo_->num_dcs(); ++d)
+      for (Queue* q : topo_->source_side_queues(d))
+        q->set_qcn_hook([this](const Packet& p) { qcn_->notify(p); });
+  }
+}
+
+FlowParams Experiment::flow_params(const FlowSpec& spec) const {
+  FlowParams p;
+  p.src = spec.src;
+  p.dst = spec.dst;
+  p.size_bytes = spec.size_bytes;
+  p.mtu = cfg_.uno.mtu;
+  p.start_time = spec.start_time;
+  p.interdc = spec.interdc;
+  p.base_rtt = spec.interdc ? cfg_.uno.inter_rtt : cfg_.uno.intra_rtt;
+  p.ec_enabled = spec.interdc && cfg_.scheme.ec_inter;
+  p.ec_data = cfg_.uno.ec_data;
+  p.ec_parity = cfg_.uno.ec_parity;
+  p.block_timeout = cfg_.uno.block_timeout;
+  return p;
+}
+
+CcParams Experiment::cc_params(const FlowSpec& spec) const {
+  CcParams c;
+  c.base_rtt = spec.interdc ? cfg_.uno.inter_rtt : cfg_.uno.intra_rtt;
+  c.intra_rtt = cfg_.uno.intra_rtt;
+  c.line_rate = cfg_.uno.link_rate;
+  c.mtu = cfg_.uno.mtu;
+  c.flow_bytes = static_cast<std::int64_t>(spec.size_bytes);
+  return c;
+}
+
+FlowSender& Experiment::spawn(const FlowSpec& spec,
+                              std::function<void(const FlowResult&)> extra) {
+  assert(spec.src != spec.dst);
+  assert(spec.src < topo_->num_hosts() && spec.dst < topo_->num_hosts());
+  assert(spec.interdc == topo_->is_interdc(spec.src, spec.dst));
+
+  FlowParams params = flow_params(spec);
+  params.id = next_flow_id_++;
+
+  const PathSet& paths = topo_->paths(spec.src, spec.dst);
+  const CcKind cck = spec.interdc ? cfg_.scheme.cc_inter : cfg_.scheme.cc_intra;
+  const LbKind lbk = spec.interdc ? cfg_.scheme.lb_inter : cfg_.scheme.lb_intra;
+  auto cc = make_cc(cck, cc_params(spec), cfg_.uno);
+  auto lb = make_lb(lbk, params.id, static_cast<std::uint16_t>(paths.size()),
+                    params.base_rtt, cfg_.uno, cfg_.seed);
+
+  auto callback = [this, extra = std::move(extra)](const FlowResult& r) {
+    ++completed_;
+    fct_.add(r);
+    if (extra) extra(r);
+  };
+  auto flow = std::make_unique<Flow>(eq_, topo_->host(spec.src), topo_->host(spec.dst),
+                                     params, &paths, std::move(cc), std::move(lb),
+                                     std::move(callback));
+  flow->start();
+  flows_.push_back(std::move(flow));
+  return flows_.back()->sender();
+}
+
+void Experiment::spawn_all(const std::vector<FlowSpec>& specs) {
+  for (const FlowSpec& spec : specs) spawn(spec);
+}
+
+bool Experiment::run_to_completion(Time deadline) {
+  // Chunked stepping: samplers and stragglers keep the queue non-empty, so
+  // completion is checked between chunks rather than waiting for drain.
+  const Time chunk = std::max<Time>(cfg_.uno.intra_rtt * 16, 100 * kMicrosecond);
+  while (!all_complete() && eq_.now() < deadline && !eq_.empty())
+    eq_.run_until(std::min(deadline, eq_.now() + chunk));
+  return all_complete();
+}
+
+}  // namespace uno

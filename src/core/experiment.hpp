@@ -1,0 +1,104 @@
+// Experiment harness: builds the two-DC topology configured for a scheme,
+// materializes workload FlowSpecs into transport flows, runs the event loop
+// and aggregates results. Every benchmark and integration test drives the
+// simulator through this class.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/scheme.hpp"
+#include "stats/fct.hpp"
+#include "topo/interdc.hpp"
+#include "workload/traffic.hpp"
+
+namespace uno {
+
+struct ExperimentConfig {
+  UnoConfig uno;
+  SchemeSpec scheme = SchemeSpec::uno();
+  std::uint64_t seed = 1;
+  /// Scale the default topology down (k=4 -> 16 hosts/DC) for unit tests.
+  int fattree_k = 0;  // 0 -> uno.fattree_k
+};
+
+/// Delivers Annulus-style QCN notifications from source-side switch ports
+/// back to the sending host after a short near-source delay. Bypasses the
+/// routed fabric deliberately: the reverse path from a source-side port to
+/// the sender is 1-2 hops, which a fixed small delay models adequately.
+class QcnDispatcher final : public EventHandler {
+ public:
+  QcnDispatcher(EventQueue& eq, InterDcTopology& topo, Time delay)
+      : eq_(eq), topo_(topo), delay_(delay) {}
+
+  /// Queue hook: schedule a kQcn packet to the offending sender.
+  void notify(const Packet& p);
+  void on_event(std::uint32_t tag) override;
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct PendingQcn {
+    Time due;
+    std::int32_t host;
+    std::uint64_t flow_id;
+  };
+  EventQueue& eq_;
+  InterDcTopology& topo_;
+  Time delay_;
+  std::deque<PendingQcn> pending_;
+  std::uint64_t delivered_ = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& cfg);
+
+  EventQueue& eq() { return eq_; }
+  InterDcTopology& topo() { return *topo_; }
+  const ExperimentConfig& config() const { return cfg_; }
+  FctCollector& fct() { return fct_; }
+
+  /// Create (and start) a flow for `spec`. `extra` is invoked on completion
+  /// after the FCT collector records the result.
+  FlowSender& spawn(const FlowSpec& spec,
+                    std::function<void(const FlowResult&)> extra = nullptr);
+  /// Spawn every spec in the list.
+  void spawn_all(const std::vector<FlowSpec>& specs);
+
+  std::size_t flows_spawned() const { return flows_.size(); }
+  std::size_t flows_completed() const { return completed_; }
+  bool all_complete() const { return completed_ == flows_.size(); }
+
+  /// Run until every spawned flow completes or `deadline` passes.
+  /// Returns true if everything completed.
+  bool run_to_completion(Time deadline);
+  void run_until(Time t) { eq_.run_until(t); }
+
+  /// Flow parameter derivation, exposed for tests.
+  FlowParams flow_params(const FlowSpec& spec) const;
+  CcParams cc_params(const FlowSpec& spec) const;
+
+  FlowSender& sender(std::size_t i) { return flows_[i]->sender(); }
+  /// Annulus dispatcher (null unless the scheme enables the add-on).
+  QcnDispatcher* qcn_dispatcher() { return qcn_.get(); }
+
+  /// Build the topology config implied by (UnoConfig, scheme): RED on every
+  /// port; phantom queues on top when the scheme uses phantom marking.
+  static InterDcConfig make_topo_config(const UnoConfig& uno, const SchemeSpec& scheme,
+                                        int fattree_k, std::uint64_t seed);
+
+ private:
+  ExperimentConfig cfg_;
+  EventQueue eq_;
+  std::unique_ptr<InterDcTopology> topo_;
+  FctCollector fct_;
+  std::unique_ptr<QcnDispatcher> qcn_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::size_t completed_ = 0;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace uno

@@ -1,0 +1,151 @@
+#include "core/scheme.hpp"
+
+#include "transport/bbr.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/gemini.hpp"
+#include "transport/mprdma.hpp"
+#include "transport/swift.hpp"
+#include "transport/unocc.hpp"
+
+namespace uno {
+
+SchemeSpec SchemeSpec::uno() {
+  SchemeSpec s;
+  s.name = "uno";
+  s.cc_intra = s.cc_inter = CcKind::kUno;
+  s.lb_intra = s.lb_inter = LbKind::kUnoLb;
+  s.ec_inter = true;
+  s.phantom_marking = true;
+  return s;
+}
+
+SchemeSpec SchemeSpec::uno_ecmp() {
+  SchemeSpec s = uno();
+  s.name = "uno+ecmp";
+  s.lb_intra = s.lb_inter = LbKind::kEcmp;
+  s.ec_inter = false;
+  return s;
+}
+
+SchemeSpec SchemeSpec::uno_no_ec() {
+  SchemeSpec s = uno();
+  s.name = "uno-noec";
+  s.ec_inter = false;
+  return s;
+}
+
+SchemeSpec SchemeSpec::gemini() {
+  SchemeSpec s;
+  s.name = "gemini";
+  s.cc_intra = s.cc_inter = CcKind::kGemini;
+  s.lb_intra = s.lb_inter = LbKind::kEcmp;
+  return s;
+}
+
+SchemeSpec SchemeSpec::mprdma_bbr() {
+  SchemeSpec s;
+  s.name = "mprdma+bbr";
+  s.cc_intra = CcKind::kMprdma;
+  s.cc_inter = CcKind::kBbr;
+  s.lb_intra = LbKind::kRps;  // MP-RDMA sprays packets
+  s.lb_inter = LbKind::kEcmp; // BBR is single-path
+  return s;
+}
+
+SchemeSpec SchemeSpec::dctcp() {
+  SchemeSpec s;
+  s.name = "dctcp";
+  s.cc_intra = s.cc_inter = CcKind::kDctcp;
+  s.lb_intra = s.lb_inter = LbKind::kEcmp;
+  return s;
+}
+
+SchemeSpec SchemeSpec::swift_bbr() {
+  SchemeSpec s;
+  s.name = "swift+bbr";
+  s.cc_intra = CcKind::kSwift;
+  s.cc_inter = CcKind::kBbr;
+  s.lb_intra = LbKind::kRps;
+  s.lb_inter = LbKind::kEcmp;
+  return s;
+}
+
+SchemeSpec SchemeSpec::uno_annulus() {
+  SchemeSpec s = uno();
+  s.name = "uno+annulus";
+  s.annulus = true;
+  return s;
+}
+
+SchemeSpec SchemeSpec::unocc_with(LbKind lb, bool ec, const std::string& name) {
+  SchemeSpec s = uno();
+  s.name = name;
+  s.lb_intra = s.lb_inter = lb;
+  s.ec_inter = ec;
+  return s;
+}
+
+SchemeSpec SchemeSpec::with_spray() const {
+  SchemeSpec s = *this;
+  s.name += "+spray";
+  s.lb_intra = s.lb_inter = LbKind::kRps;
+  return s;
+}
+
+std::unique_ptr<CongestionControl> make_cc(CcKind kind, const CcParams& cc,
+                                           const UnoConfig& cfg) {
+  switch (kind) {
+    case CcKind::kUno: {
+      UnoCc::Params p;
+      p.alpha_fraction = cfg.alpha_fraction;
+      p.beta = cfg.beta;
+      p.k_fraction = cfg.k_fraction;
+      p.enable_qa = cfg.unocc_enable_qa;
+      p.md_scale_decay = cfg.unocc_gentle_md;
+      p.enable_pacing = cfg.unocc_enable_pacing;
+      // 0 -> intra RTT (unified); otherwise react at the flow's own RTT,
+      // which is exactly the Gemini granularity the paper argues against.
+      p.epoch_period = cfg.unocc_unified_epoch ? 0 : cc.base_rtt;
+      return std::make_unique<UnoCc>(cc, p);
+    }
+    case CcKind::kGemini:
+      return std::make_unique<GeminiCc>(cc, GeminiCc::Params{});
+    case CcKind::kMprdma:
+      return std::make_unique<MprdmaCc>(cc);
+    case CcKind::kBbr:
+      return std::make_unique<BbrCc>(cc);
+    case CcKind::kDctcp:
+      return std::make_unique<DctcpCc>(cc);
+    case CcKind::kSwift:
+      return std::make_unique<SwiftCc>(cc);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<LoadBalancer> make_lb(LbKind kind, std::uint64_t flow_id,
+                                      std::uint16_t num_paths, Time base_rtt,
+                                      const UnoConfig& cfg, std::uint64_t seed) {
+  switch (kind) {
+    case LbKind::kEcmp:
+      return std::make_unique<EcmpLb>(flow_id, num_paths);
+    case LbKind::kRps:
+      return std::make_unique<RpsLb>(num_paths, Rng::stream(seed, flow_id * 2 + 1));
+    case LbKind::kPlb: {
+      PlbLb::Params p;
+      p.round_duration = base_rtt;
+      return std::make_unique<PlbLb>(p, flow_id, num_paths,
+                                     Rng::stream(seed, flow_id * 2 + 1));
+    }
+    case LbKind::kReps:
+      return std::make_unique<RepsLb>(num_paths, Rng::stream(seed, flow_id * 2 + 1));
+    case LbKind::kUnoLb: {
+      UnoLb::Params p;
+      p.num_subflows = cfg.subflows();
+      p.base_rtt = base_rtt;
+      return std::make_unique<UnoLb>(p, num_paths, Rng::stream(seed, flow_id * 2 + 1));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace uno

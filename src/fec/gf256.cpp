@@ -1,0 +1,82 @@
+#include "fec/gf256.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+
+namespace uno::gf256 {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod-255
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    constexpr unsigned kPoly = 0x11D;
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * e) % 255];
+}
+
+std::uint8_t exp(unsigned e) { return tables().exp[e % 255]; }
+
+std::uint8_t log(std::uint8_t a) {
+  assert(a != 0);
+  return tables().log[a];
+}
+
+void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t len) {
+  if (c == 0) return;
+  const Tables& t = tables();
+  if (c == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const unsigned lc = t.log[c];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+}  // namespace uno::gf256

@@ -1,0 +1,29 @@
+// GF(2^8) arithmetic for Reed–Solomon coding.
+//
+// Standard log/exp-table implementation over the AES-adjacent primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) with generator 2. Tables are
+// built once at static initialization.
+#pragma once
+
+#include <cstdint>
+
+namespace uno::gf256 {
+
+/// Addition and subtraction coincide in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t div(std::uint8_t a, std::uint8_t b);  // b != 0
+std::uint8_t inv(std::uint8_t a);                  // a != 0
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+/// exp table lookup: generator^e (e reduced mod 255).
+std::uint8_t exp(unsigned e);
+/// log table lookup (a != 0).
+std::uint8_t log(std::uint8_t a);
+
+/// Multiply-accumulate over a buffer: dst[i] ^= c * src[i]. The hot loop of
+/// the encoder; kept out-of-line so the table pointers stay in registers.
+void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t len);
+
+}  // namespace uno::gf256

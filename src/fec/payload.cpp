@@ -1,0 +1,109 @@
+#include "fec/payload.hpp"
+
+#include <cassert>
+
+namespace uno {
+
+namespace {
+/// Deterministic bytes for (flow, block, shard index): cheap keyed stream.
+void fill_bytes(std::uint64_t flow_id, std::uint32_t block, int index,
+                std::vector<std::uint8_t>& out) {
+  Rng rng = Rng::stream(flow_id * 1000003 + block, static_cast<std::uint64_t>(index));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_below(256));
+}
+}  // namespace
+
+PayloadStore::PayloadStore(std::uint64_t flow_id, const BlockFrame& frame,
+                           std::size_t shard_bytes)
+    : flow_id_(flow_id),
+      frame_(frame),
+      shard_bytes_(shard_bytes),
+      rs_(frame.data_per_block(), frame.parity_per_block()) {}
+
+std::vector<std::uint8_t> PayloadStore::expected_data(std::uint64_t flow_id,
+                                                      std::uint32_t block, int index,
+                                                      std::size_t shard_bytes) {
+  std::vector<std::uint8_t> out(shard_bytes);
+  fill_bytes(flow_id, block, index, out);
+  return out;
+}
+
+void PayloadStore::ensure_block(std::uint32_t block) {
+  if (blocks_.count(block)) return;
+  const int dl = frame_.data_shards_in_block(block);
+  const int y = frame_.parity_per_block();
+  // Encode with the full (x, y) geometry; a short last block is padded with
+  // zero shards for the encoder but only its real shards go on the wire.
+  const int x = frame_.data_per_block();
+  std::vector<std::vector<std::uint8_t>> shards(x + y);
+  for (int i = 0; i < x; ++i) {
+    shards[i].assign(shard_bytes_, 0);
+    if (i < dl) fill_bytes(flow_id_, block, i, shards[i]);
+  }
+  rs_.encode(shards);
+  // Keep wire shards only: dl data + y parity.
+  std::vector<std::vector<std::uint8_t>> wire;
+  wire.reserve(dl + y);
+  for (int i = 0; i < dl; ++i) wire.push_back(std::move(shards[i]));
+  for (int i = 0; i < y; ++i) wire.push_back(std::move(shards[x + i]));
+  blocks_.emplace(block, std::move(wire));
+}
+
+const std::vector<std::uint8_t>& PayloadStore::shard(std::uint64_t seq) {
+  const BlockFrame::Shard s = frame_.shard_of(seq);
+  ensure_block(s.block);
+  return blocks_.at(s.block)[s.index];
+}
+
+PayloadVerifier::PayloadVerifier(std::uint64_t flow_id, const BlockFrame& frame,
+                                 std::size_t shard_bytes)
+    : flow_id_(flow_id),
+      frame_(frame),
+      shard_bytes_(shard_bytes),
+      rs_(frame.data_per_block(), frame.parity_per_block()) {}
+
+bool PayloadVerifier::on_shard(std::uint32_t block, int index,
+                               const std::vector<std::uint8_t>& bytes) {
+  const int dl = frame_.data_shards_in_block(block);
+  const int x = frame_.data_per_block();
+  const int y = frame_.parity_per_block();
+  Pending& p = pending_[block];
+  if (p.done) return false;
+  if (p.shards.empty()) {
+    p.shards.assign(x + y, {});
+    p.present.assign(x + y, false);
+    // Padding shards of a short last block are "present" as zeros.
+    for (int i = dl; i < x; ++i) {
+      p.shards[i].assign(shard_bytes_, 0);
+      p.present[i] = true;
+      ++p.have;
+    }
+  }
+  // Wire index -> codec slot: data shards map 1:1, parity shards follow the
+  // (possibly padded) data region.
+  const int slot = index < dl ? index : x + (index - dl);
+  assert(slot < x + y);
+  if (p.present[slot]) return false;  // duplicate
+  p.shards[slot] = bytes;
+  p.present[slot] = true;
+  ++p.have;
+  if (p.have < x) return false;
+
+  // Decodable: reconstruct and verify the real data shards.
+  p.done = true;
+  bool ok = rs_.reconstruct(p.shards, p.present);
+  if (ok) {
+    for (int i = 0; i < dl && ok; ++i)
+      ok = p.shards[i] == PayloadStore::expected_data(flow_id_, block, i, shard_bytes_);
+  }
+  if (ok)
+    ++verified_;
+  else
+    ++corrupt_;
+  // Free the bytes; only the outcome matters from here on.
+  p.shards.clear();
+  p.present.clear();
+  return ok;
+}
+
+}  // namespace uno

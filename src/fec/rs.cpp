@@ -1,0 +1,131 @@
+#include "fec/rs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "fec/gf256.hpp"
+
+namespace uno {
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  assert(k_ >= 1);
+  assert(m_ >= 0);
+  assert(k_ + m_ <= 255);
+  matrix_.resize(k_ + m_, std::vector<std::uint8_t>(k_, 0));
+  for (int i = 0; i < k_; ++i) matrix_[i][i] = 1;
+  for (int i = 0; i < m_; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      const std::uint8_t xi = static_cast<std::uint8_t>(k_ + i);
+      const std::uint8_t yj = static_cast<std::uint8_t>(j);
+      matrix_[k_ + i][j] = gf256::inv(gf256::add(xi, yj));
+    }
+  }
+}
+
+void ReedSolomon::encode(std::vector<std::vector<std::uint8_t>>& shards) const {
+  assert(static_cast<int>(shards.size()) == total_shards());
+  const std::size_t len = shards[0].size();
+  for (int j = 1; j < k_; ++j) assert(shards[j].size() == len);
+  for (int i = 0; i < m_; ++i) {
+    auto& out = shards[k_ + i];
+    out.assign(len, 0);
+    for (int j = 0; j < k_; ++j)
+      gf256::mul_add(out.data(), shards[j].data(), matrix_[k_ + i][j], len);
+  }
+}
+
+bool ReedSolomon::decodable(const std::vector<bool>& present, int k) {
+  int have = 0;
+  for (bool b : present)
+    if (b) ++have;
+  return have >= k;
+}
+
+bool ReedSolomon::reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                              std::vector<bool>& present) const {
+  assert(static_cast<int>(shards.size()) == total_shards());
+  assert(present.size() == shards.size());
+  if (!decodable(present, k_)) return false;
+
+  // Fast path: all data shards present -> just re-encode missing parity.
+  bool all_data = true;
+  for (int j = 0; j < k_; ++j) all_data &= static_cast<bool>(present[j]);
+  if (!all_data) {
+    // Select k present rows (prefer data rows for cheaper identity rows).
+    std::vector<int> rows;
+    rows.reserve(k_);
+    for (int r = 0; r < total_shards() && static_cast<int>(rows.size()) < k_; ++r)
+      if (present[r]) rows.push_back(r);
+
+    std::size_t len = 0;
+    for (int r : rows) len = std::max(len, shards[r].size());
+
+    // Build the k x k decode system: sub[i] = generator row rows[i].
+    std::vector<std::vector<std::uint8_t>> sub(k_);
+    for (int i = 0; i < k_; ++i) sub[i] = matrix_[rows[i]];
+    if (!gf_invert_matrix(sub)) return false;  // unreachable for MDS matrices
+
+    // data[j] = sum_i sub[j][i] * shards[rows[i]]
+    std::vector<std::vector<std::uint8_t>> data(k_, std::vector<std::uint8_t>(len, 0));
+    for (int j = 0; j < k_; ++j)
+      for (int i = 0; i < k_; ++i)
+        gf256::mul_add(data[j].data(), shards[rows[i]].data(), sub[j][i],
+                       std::min(len, shards[rows[i]].size()));
+    for (int j = 0; j < k_; ++j) {
+      if (!present[j]) {
+        shards[j] = std::move(data[j]);
+        present[j] = true;
+      }
+    }
+  }
+
+  // Recompute any missing parity from the (now complete) data shards.
+  bool parity_missing = false;
+  for (int i = 0; i < m_; ++i) parity_missing |= !present[k_ + i];
+  if (parity_missing) {
+    const std::size_t len = shards[0].size();
+    for (int i = 0; i < m_; ++i) {
+      if (present[k_ + i]) continue;
+      auto& out = shards[k_ + i];
+      out.assign(len, 0);
+      for (int j = 0; j < k_; ++j)
+        gf256::mul_add(out.data(), shards[j].data(), matrix_[k_ + i][j], len);
+      present[k_ + i] = true;
+    }
+  }
+  return true;
+}
+
+bool gf_invert_matrix(std::vector<std::vector<std::uint8_t>>& m) {
+  const int n = static_cast<int>(m.size());
+  // Augment with identity.
+  for (int i = 0; i < n; ++i) {
+    m[i].resize(2 * n, 0);
+    m[i][n + i] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r)
+      if (m[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    if (pivot < 0) return false;
+    std::swap(m[col], m[pivot]);
+    const std::uint8_t inv = gf256::inv(m[col][col]);
+    for (int c = 0; c < 2 * n; ++c) m[col][c] = gf256::mul(m[col][c], inv);
+    for (int r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) continue;
+      const std::uint8_t f = m[r][col];
+      for (int c = 0; c < 2 * n; ++c)
+        m[r][c] = gf256::add(m[r][c], gf256::mul(f, m[col][c]));
+    }
+  }
+  // Strip the left half, keep the inverse.
+  for (int i = 0; i < n; ++i) m[i].erase(m[i].begin(), m[i].begin() + n);
+  return true;
+}
+
+}  // namespace uno

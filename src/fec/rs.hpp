@@ -1,0 +1,53 @@
+// Systematic Maximum-Distance-Separable Reed–Solomon codes over GF(2^8).
+//
+// Generator matrix: identity on top of a Cauchy matrix
+//   C[i][j] = 1 / (x_i + y_j),  x_i = k + i,  y_j = j,
+// whose every square submatrix is invertible, so *any* k of the n = k + m
+// shards reconstruct the block — the MDS property UnoRC relies on (§3.3,
+// §4.2). This codec operates on real payload bytes; the simulator's block
+// accounting (fec/block.hpp) leans on the property proven here by tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uno {
+
+class ReedSolomon {
+ public:
+  /// k data shards, m parity shards; k + m <= 255, k >= 1, m >= 0.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  /// Compute the m parity shards for k equal-length data shards.
+  /// `shards` must have total_shards() entries; entries [0,k) are inputs,
+  /// entries [k,n) are resized and overwritten.
+  void encode(std::vector<std::vector<std::uint8_t>>& shards) const;
+
+  /// Reconstruct every missing shard (data and parity). `present[i]` says
+  /// whether shards[i] currently holds valid bytes. Returns false if fewer
+  /// than k shards are present. On success all shards are valid.
+  bool reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                   std::vector<bool>& present) const;
+
+  /// True when the present shards suffice to decode (>= k of them).
+  static bool decodable(const std::vector<bool>& present, int k);
+
+  /// Generator-matrix row r (r < k: identity row; r >= k: Cauchy row).
+  const std::vector<std::uint8_t>& matrix_row(int r) const { return matrix_[r]; }
+
+ private:
+  int k_;
+  int m_;
+  std::vector<std::vector<std::uint8_t>> matrix_;  // n x k generator
+};
+
+/// Invert a dense square GF(256) matrix via Gauss–Jordan. Returns false if
+/// singular (never happens for submatrices chosen from a Cauchy+identity
+/// generator, which tests verify exhaustively for the paper's (8,2) code).
+bool gf_invert_matrix(std::vector<std::vector<std::uint8_t>>& m);
+
+}  // namespace uno

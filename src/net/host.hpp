@@ -1,0 +1,48 @@
+// Host-side packet demultiplexer.
+//
+// Every cached route terminates at the destination host's `Host` sink, which
+// dispatches to the flow endpoint (sender or receiver half) registered under
+// the packet's flow id. This keeps routes flow-agnostic and shareable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace uno {
+
+class Host final : public PacketSink {
+ public:
+  Host(int id, int dc, std::string name) : id_(id), dc_(dc), name_(std::move(name)) {}
+
+  int id() const { return id_; }
+  int dc() const { return dc_; }
+  const std::string& name() const override { return name_; }
+
+  void register_flow(std::uint64_t flow_id, PacketSink* endpoint) {
+    flows_[flow_id] = endpoint;
+  }
+  void unregister_flow(std::uint64_t flow_id) { flows_.erase(flow_id); }
+
+  void receive(Packet p) override {
+    auto it = flows_.find(p.flow_id);
+    if (it == flows_.end()) {
+      ++stray_;  // flow already torn down; late packets are dropped silently
+      return;
+    }
+    it->second->receive(std::move(p));
+  }
+
+  std::uint64_t stray_packets() const { return stray_; }
+
+ private:
+  int id_;
+  int dc_;
+  std::string name_;
+  std::unordered_map<std::uint64_t, PacketSink*> flows_;
+  std::uint64_t stray_ = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,24 @@
+#include "net/link.hpp"
+
+namespace uno {
+
+void Link::receive(Packet p) {
+  if (!up_ || (loss_ && loss_->should_drop(eq_.now()))) {
+    ++dropped_;
+    return;  // the transport's RTO / EC layer recovers the loss
+  }
+  const Time exit = eq_.now() + latency_;
+  inflight_.emplace_back(exit, std::move(p));
+  if (inflight_.size() == 1) eq_.schedule_at(exit, this);
+}
+
+void Link::on_event(std::uint32_t) {
+  // Latency is constant, so the head is always the packet due now.
+  auto [exit, p] = std::move(inflight_.front());
+  inflight_.pop_front();
+  ++delivered_;
+  forward(std::move(p));
+  if (!inflight_.empty()) eq_.schedule_at(inflight_.front().first, this);
+}
+
+}  // namespace uno

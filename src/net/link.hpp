@@ -1,0 +1,53 @@
+// Propagation-delay pipe with failure and stochastic-loss injection.
+//
+// A Link models the wire only: packets entering it emerge `latency` later at
+// the next hop of their route, in FIFO order. Serialization happens upstream
+// in the Queue feeding the link. Links are unidirectional; a full-duplex
+// cable is two Link objects.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/event.hpp"
+
+namespace uno {
+
+class Link final : public PacketSink, public EventHandler {
+ public:
+  Link(EventQueue& eq, std::string name, Time latency)
+      : eq_(eq), name_(std::move(name)), latency_(latency) {}
+
+  void receive(Packet p) override;
+  void on_event(std::uint32_t tag) override;
+
+  const std::string& name() const override { return name_; }
+  Time latency() const { return latency_; }
+  void set_latency(Time latency) { latency_ = latency; }
+
+  /// Take the link down (packets entering a down link are dropped) or back up.
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+
+  /// Attach a stochastic loss model (evaluated per packet at ingress).
+  void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  EventQueue& eq_;
+  std::string name_;
+  Time latency_;
+  bool up_ = true;
+  std::unique_ptr<LossModel> loss_;
+  std::deque<std::pair<Time, Packet>> inflight_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace uno

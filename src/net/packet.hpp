@@ -1,0 +1,114 @@
+// Packet representation and source routing.
+//
+// Packets are plain values moved hop-to-hop; a `Route` is a pre-computed
+// sequence of `PacketSink*` (queues, links, and finally an endpoint), in the
+// style of htsim's source routing. Data, ACK and NACK packets share one
+// struct so queues and links stay type-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+struct Packet;
+
+/// Anything a packet can be handed to: a queue, a link, or an endpoint.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(Packet p) = 0;
+  /// Human-readable name for traces and assertions.
+  virtual const std::string& name() const = 0;
+};
+
+/// A unidirectional source route: every sink the packet traverses, ending
+/// at the destination endpoint. Routes are owned by the topology's path
+/// tables and referenced (not copied) by packets.
+struct Route {
+  std::vector<PacketSink*> hops;
+  /// Index of this route within its (src,dst) path set; used by load
+  /// balancers to reason about path identity.
+  std::uint16_t path_id = 0;
+
+  std::size_t size() const { return hops.size(); }
+};
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kNack = 2,      // EC block reassembly failed; retransmit the block
+  kTrimNack = 3,  // a specific data packet was trimmed (dropped) in-network
+  kQcn = 4,       // Annulus-style near-source congestion notification
+};
+
+/// Flow-scope constants shared between sender and receiver.
+inline constexpr std::uint32_t kAckSize = 64;   // bytes per ACK/NACK
+inline constexpr std::uint32_t kTrimSize = 64;  // header left after trimming
+
+struct Packet {
+  // --- identity -----------------------------------------------------------
+  std::uint64_t flow_id = 0;
+  std::uint64_t seq = 0;      // data: packet sequence number within the flow
+  std::uint32_t size = 0;     // bytes on the wire
+  PacketType type = PacketType::kData;
+  bool retransmit = false;
+  std::int32_t src_host = -1;  // sending host (QCN feedback addressing)
+
+  // --- ECN / trimming -------------------------------------------------------
+  bool ecn_capable = true;
+  bool ecn_ce = false;   // congestion-experienced mark (set by queues)
+  bool trimmed = false;  // payload discarded by an overflowing queue
+
+  // --- timestamps (echoed back in ACKs for RTT measurement) ---------------
+  Time sent_time = 0;
+
+  // --- load balancing ------------------------------------------------------
+  std::uint16_t entropy = 0;  // path index selected by the load balancer
+  std::uint8_t subflow = 0;   // UnoLB subflow slot this packet was sent on
+
+  // --- erasure-coding framing ----------------------------------------------
+  std::uint32_t block_id = 0;  // which EC block the packet belongs to
+  std::uint8_t shard = 0;      // index within the block [0, n)
+  bool is_parity = false;
+  /// Real shard bytes when payload verification is on (see fec/payload.hpp).
+  /// Owned by the sender's PayloadStore, which outlives every packet of the
+  /// flow; trimming nulls it (the payload is what trimming discards).
+  const std::vector<std::uint8_t>* payload = nullptr;
+
+  // --- ACK / NACK payload ---------------------------------------------------
+  std::uint64_t ack_seq = 0;       // sequence number being acknowledged
+  bool ecn_echo = false;           // CE state of the acked data packet
+  Time echo_sent_time = 0;         // sender timestamp echoed back
+  std::uint32_t nack_block = 0;    // NACK: block to retransmit
+  std::uint8_t ack_subflow = 0;    // subflow of the acked data packet
+
+  // --- source routing --------------------------------------------------------
+  const Route* route = nullptr;
+  std::uint16_t hop = 0;
+};
+
+/// Hand the packet to its next hop. The caller must ensure the route has
+/// remaining hops (endpoints never call this).
+inline void forward(Packet&& p) {
+  PacketSink* next = p.route->hops[p.hop];
+  ++p.hop;
+  next->receive(std::move(p));
+}
+
+/// Build a data packet skeleton (sender fills CC/EC fields).
+Packet make_data_packet(std::uint64_t flow_id, std::uint64_t seq, std::uint32_t size);
+
+/// Build the ACK for `data`, to be sent on `reverse`.
+Packet make_ack_packet(const Packet& data, const Route* reverse);
+
+/// Build a NACK requesting retransmission of `block_id`.
+Packet make_nack_packet(std::uint64_t flow_id, std::uint32_t block_id, const Route* reverse);
+
+/// Build the per-packet loss notification for a trimmed data packet.
+Packet make_trim_nack_packet(const Packet& trimmed_data, const Route* reverse);
+
+}  // namespace uno

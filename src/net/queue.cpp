@@ -1,0 +1,136 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uno {
+
+namespace {
+/// Linear RED probability for an instantaneous occupancy.
+double red_probability(const RedConfig& red, std::int64_t occ) {
+  if (occ <= red.min_bytes) return 0.0;
+  if (occ >= red.max_bytes) return 1.0;
+  return static_cast<double>(occ - red.min_bytes) /
+         static_cast<double>(red.max_bytes - red.min_bytes);
+}
+}  // namespace
+
+Queue::Queue(EventQueue& eq, std::string name, const QueueConfig& cfg, Rng rng)
+    : eq_(eq), name_(std::move(name)), cfg_(cfg), rng_(rng) {
+  assert(cfg_.rate > 0);
+  assert(cfg_.capacity_bytes > 0);
+  phantom_rate_ = static_cast<Bandwidth>(static_cast<double>(cfg_.rate) *
+                                         cfg_.phantom.drain_fraction);
+}
+
+std::int64_t Queue::phantom_occupancy(Time now) const {
+  if (!cfg_.phantom.enabled) return 0;
+  if (now > phantom_last_) {
+    const std::int64_t drained = bytes_in_interval(now - phantom_last_, phantom_rate_);
+    phantom_bytes_ = std::max<std::int64_t>(0, phantom_bytes_ - drained);
+    phantom_last_ = now;
+  }
+  return phantom_bytes_;
+}
+
+bool Queue::should_mark(std::int64_t occupancy_after, Time now) {
+  double p = 0.0;
+  if (cfg_.red.enabled) p = std::max(p, red_probability(cfg_.red, occupancy_after));
+  if (cfg_.phantom.enabled) {
+    // Update the lazily-drained counter, then account for this packet.
+    const std::int64_t phantom = phantom_occupancy(now);
+    p = std::max(p, red_probability(cfg_.phantom.red, phantom));
+  }
+  return p > 0.0 && rng_.chance(p);
+}
+
+void Queue::receive(Packet p) {
+  const Time now = eq_.now();
+  const bool is_data = p.type == PacketType::kData && !p.trimmed;
+
+  if (!is_data) {
+    // Control traffic (ACK/NACK/trimmed headers): strict-priority lane with
+    // its own small buffer.
+    if (ctrl_occupancy_ + p.size > cfg_.control_capacity_bytes) {
+      ++drops_;
+      if (drop_hook_) drop_hook_(p);
+      return;
+    }
+    ctrl_occupancy_ += p.size;
+    ctrl_q_.push_back(std::move(p));
+    if (!busy_) start_service();
+    return;
+  }
+
+  if (occupancy_ + p.size > cfg_.capacity_bytes) {
+    if (cfg_.trim && ctrl_occupancy_ + kTrimSize <= cfg_.control_capacity_bytes) {
+      // NDP-style trimming: keep the header, drop the payload, and let the
+      // header overtake the queued data on the priority lane.
+      p.size = kTrimSize;
+      p.trimmed = true;
+      p.payload = nullptr;  // the payload is exactly what trimming discards
+      ++trims_;
+      ctrl_occupancy_ += p.size;
+      ctrl_q_.push_back(std::move(p));
+      if (!busy_) start_service();
+      return;
+    }
+    ++drops_;
+    if (drop_hook_) drop_hook_(p);
+    return;
+  }
+  // The phantom counter tracks *arrivals* at the port, including packets
+  // that fit the physical buffer, and is charged before the marking
+  // decision so a burst marks its own tail.
+  if (cfg_.phantom.enabled) {
+    phantom_occupancy(now);  // lazy drain
+    phantom_bytes_ = std::min<std::int64_t>(phantom_bytes_ + p.size,
+                                            cfg_.phantom.effective_cap());
+  }
+  if (p.ecn_capable && should_mark(occupancy_ + p.size, now)) {
+    p.ecn_ce = true;
+    ++ecn_marked_;
+  }
+  if (cfg_.qcn.enabled && qcn_hook_ && occupancy_ + p.size > cfg_.qcn.threshold_bytes &&
+      (last_qcn_ < 0 || now - last_qcn_ >= cfg_.qcn.min_interval)) {
+    last_qcn_ = now;
+    ++qcn_sent_;
+    qcn_hook_(p);
+  }
+  occupancy_ += p.size;
+  max_occupancy_ = std::max(max_occupancy_, occupancy_);
+  q_.push_back(std::move(p));
+  if (!busy_) start_service();
+}
+
+void Queue::start_service() {
+  assert(!q_.empty() || !ctrl_q_.empty());
+  busy_ = true;
+  serving_ctrl_ = !ctrl_q_.empty();
+  const Packet& head = serving_ctrl_ ? ctrl_q_.front() : q_.front();
+  eq_.schedule_in(serialization_time(head.size, cfg_.rate), this);
+}
+
+void Queue::on_event(std::uint32_t) {
+  assert(busy_ && (!q_.empty() || !ctrl_q_.empty()));
+  // Dequeue from the lane whose head we committed to serializing; a control
+  // packet arriving *during* a data packet's serialization does not preempt
+  // it, it just goes first on the next service round.
+  Packet p;
+  if (serving_ctrl_) {
+    p = std::move(ctrl_q_.front());
+    ctrl_q_.pop_front();
+    ctrl_occupancy_ -= p.size;
+  } else {
+    p = std::move(q_.front());
+    q_.pop_front();
+    occupancy_ -= p.size;
+  }
+  ++forwarded_;
+  bytes_forwarded_ += p.size;
+  busy_ = false;
+  if (!q_.empty() || !ctrl_q_.empty()) start_service();
+  forward(std::move(p));
+}
+
+}  // namespace uno

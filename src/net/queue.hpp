@@ -1,0 +1,139 @@
+// Switch output port: drop-tail queue + line-rate serializer + ECN marking.
+//
+// Two marking sources are supported, matching §4.1.3 of the paper:
+//  * RED on the instantaneous *physical* occupancy (min/max thresholds,
+//    linear probability in between) — used by DCTCP/MPRDMA/Gemini setups;
+//  * a *phantom queue*: a counter incremented on every enqueue and drained
+//    at a configurable fraction of line rate (default 90%), with its own
+//    RED thresholds sized to the inter-DC BDP — used by Uno so ECN can
+//    signal congestion long before a shallow physical buffer fills.
+// When both are enabled a packet is marked if either source marks it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/event.hpp"
+#include "sim/rng.hpp"
+
+namespace uno {
+
+/// RED marking thresholds in bytes. Marking probability is 0 below
+/// `min_bytes`, 1 above `max_bytes`, linear in between.
+struct RedConfig {
+  bool enabled = false;
+  std::int64_t min_bytes = 0;
+  std::int64_t max_bytes = 0;
+};
+
+/// Phantom-queue configuration (HULL-style virtual queue).
+struct PhantomConfig {
+  bool enabled = false;
+  double drain_fraction = 0.9;  // of the physical line rate
+  RedConfig red;                // thresholds on the *phantom* occupancy
+  /// Upper bound on the virtual occupancy; without it a saturated port's
+  /// phantom counter grows without limit and takes arbitrarily long to
+  /// drain after the overload ends (marking hysteresis). 0 derives
+  /// 2 x red.max_bytes.
+  std::int64_t cap_bytes = 0;
+
+  std::int64_t effective_cap() const { return cap_bytes > 0 ? cap_bytes : 2 * red.max_bytes; }
+};
+
+struct QueueConfig {
+  Bandwidth rate = 100 * kGbps;
+  std::int64_t capacity_bytes = 1 << 20;  // 1 MiB/port (paper default)
+  RedConfig red;        // physical-occupancy marking
+  PhantomConfig phantom;
+  /// Packet trimming (htsim/NDP-style): instead of dropping an overflowing
+  /// data packet, truncate it to its header and forward it, giving the
+  /// sender a per-packet loss notification within one RTT.
+  bool trim = false;
+  /// Separate strict-priority queue for control traffic (ACKs/NACKs) and
+  /// trimmed headers, as in NDP: feedback jumps ahead of queued data.
+  /// Sized for ~4k control packets so a whole window's worth of trims from
+  /// an incast burst survives (control drops cost an expiry round trip).
+  std::int64_t control_capacity_bytes = 256 << 10;
+
+  /// Annulus-style near-source QCN (see §3.2/[59] and the paper's footnote
+  /// leaving it as future work): when a *source-side* port exceeds the
+  /// threshold, an early congestion notification is sent straight back to
+  /// the packet's sender, bypassing the long forward loop.
+  struct Qcn {
+    bool enabled = false;
+    std::int64_t threshold_bytes = 150'000;
+    Time min_interval = 10 * kMicrosecond;  // per-queue notification pacing
+  } qcn;
+};
+
+class Queue final : public PacketSink, public EventHandler {
+ public:
+  Queue(EventQueue& eq, std::string name, const QueueConfig& cfg, Rng rng = Rng(7));
+
+  void receive(Packet p) override;
+  void on_event(std::uint32_t tag) override;
+
+  const std::string& name() const override { return name_; }
+
+  std::int64_t occupancy() const { return occupancy_; }
+  std::int64_t control_occupancy() const { return ctrl_occupancy_; }
+  std::int64_t capacity() const { return cfg_.capacity_bytes; }
+  Bandwidth rate() const { return cfg_.rate; }
+
+  /// Phantom occupancy as of `now` (lazily drained).
+  std::int64_t phantom_occupancy(Time now) const;
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t trims() const { return trims_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t ecn_marked() const { return ecn_marked_; }
+  std::int64_t max_occupancy() const { return max_occupancy_; }
+  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+
+  const QueueConfig& config() const { return cfg_; }
+
+  /// Optional hook invoked on every drop (used by tests and debugging).
+  void set_drop_hook(std::function<void(const Packet&)> hook) { drop_hook_ = std::move(hook); }
+
+  /// Installed by the experiment when the Annulus extension is on: called
+  /// (rate-limited) with the offending packet when qcn.threshold is crossed.
+  void set_qcn_hook(std::function<void(const Packet&)> hook) { qcn_hook_ = std::move(hook); }
+  std::uint64_t qcn_notifications() const { return qcn_sent_; }
+
+ private:
+  bool should_mark(std::int64_t occupancy_after, Time now);
+  void start_service();
+
+  EventQueue& eq_;
+  std::string name_;
+  QueueConfig cfg_;
+  Rng rng_;
+
+  std::deque<Packet> q_;       // data packets
+  std::deque<Packet> ctrl_q_;  // control + trimmed headers (strict priority)
+  std::int64_t occupancy_ = 0;       // data bytes queued
+  std::int64_t ctrl_occupancy_ = 0;  // control bytes queued
+  bool busy_ = false;
+  bool serving_ctrl_ = false;  // which lane the in-progress serialization uses
+
+  // Phantom queue state: drained lazily whenever observed.
+  mutable std::int64_t phantom_bytes_ = 0;
+  mutable Time phantom_last_ = 0;
+  Bandwidth phantom_rate_ = 0;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t trims_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+  std::uint64_t ecn_marked_ = 0;
+  std::int64_t max_occupancy_ = 0;
+  std::function<void(const Packet&)> drop_hook_;
+  std::function<void(const Packet&)> qcn_hook_;
+  Time last_qcn_ = -1;
+  std::uint64_t qcn_sent_ = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,30 @@
+#include "sim/event.hpp"
+
+#include <cassert>
+
+namespace uno {
+
+void EventQueue::schedule_at(Time t, EventHandler* handler, std::uint32_t tag) {
+  assert(handler != nullptr);
+  assert(t >= now_ && "cannot schedule into the past");
+  heap_.push(Entry{t, next_seq_++, handler, tag, handler->liveness()});
+}
+
+std::uint64_t EventQueue::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().t <= deadline) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (e.alive.expired()) continue;  // handler was destroyed; stale wakeup
+    now_ = e.t;
+    e.handler->on_event(e.tag);
+    ++n;
+  }
+  // Advance the clock to the deadline even if nothing fired there, so
+  // successive run_until calls observe monotonic time.
+  if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
+  dispatched_ += n;
+  return n;
+}
+
+}  // namespace uno

@@ -1,0 +1,131 @@
+// Discrete-event core: a monotonic clock plus a binary-heap event queue.
+//
+// Components that need to be woken register as `EventHandler`s and schedule
+// themselves with an integer tag; no per-event allocation happens. Ties in
+// time are broken by insertion order so the simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+class EventQueue;
+
+/// Anything that can be woken by the event queue.
+///
+/// Handlers carry a liveness token: events scheduled against a handler that
+/// has since been destroyed are silently skipped, so tearing down a
+/// component (e.g. a Flow mid-flight) never leaves dangling wakeups.
+class EventHandler {
+ public:
+  EventHandler() : liveness_(std::make_shared<char>(0)) {}
+  virtual ~EventHandler() = default;
+  EventHandler(const EventHandler&) = delete;
+  EventHandler& operator=(const EventHandler&) = delete;
+
+  /// Called when a scheduled event fires. `tag` is the value passed to
+  /// `EventQueue::schedule_*`, letting one handler multiplex several
+  /// logical timers/events.
+  virtual void on_event(std::uint32_t tag) = 0;
+
+  const std::shared_ptr<char>& liveness() const { return liveness_; }
+
+ private:
+  std::shared_ptr<char> liveness_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `handler->on_event(tag)` at absolute time `t` (must be >= now).
+  void schedule_at(Time t, EventHandler* handler, std::uint32_t tag = 0);
+
+  /// Schedule after a relative delay.
+  void schedule_in(Time delay, EventHandler* handler, std::uint32_t tag = 0) {
+    schedule_at(now_ + delay, handler, tag);
+  }
+
+  /// Run events until the queue is empty or the clock passes `deadline`.
+  /// Returns the number of events dispatched.
+  std::uint64_t run_until(Time deadline);
+
+  /// Run until the queue drains completely.
+  std::uint64_t run_all() { return run_until(kTimeInfinity); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;  // insertion order; breaks ties deterministically
+    EventHandler* handler;
+    std::uint32_t tag;
+    std::weak_ptr<char> alive;  // skip dispatch if the handler died
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+/// A cancellable, re-armable one-shot timer built on the event queue.
+///
+/// Cancellation is lazy: stale heap entries are ignored via a generation
+/// counter, so cancel/rearm are O(1).
+class Timer : public EventHandler {
+ public:
+  /// `tag` is forwarded to `target->on_event(tag)` when the timer fires.
+  Timer(EventQueue& eq, EventHandler* target, std::uint32_t tag)
+      : eq_(eq), target_(target), tag_(tag) {}
+
+  /// (Re)arm to fire at absolute time `t`.
+  void arm_at(Time t) {
+    ++generation_;
+    armed_ = true;
+    deadline_ = t;
+    eq_.schedule_at(t, this, generation_);
+  }
+
+  void arm_in(Time delay) { arm_at(eq_.now() + delay); }
+
+  void cancel() {
+    ++generation_;
+    armed_ = false;
+  }
+
+  bool armed() const { return armed_; }
+  Time deadline() const { return deadline_; }
+
+  void on_event(std::uint32_t gen) override {
+    if (gen != generation_ || !armed_) return;  // stale or cancelled
+    armed_ = false;
+    target_->on_event(tag_);
+  }
+
+ private:
+  EventQueue& eq_;
+  EventHandler* target_;
+  std::uint32_t tag_;
+  std::uint32_t generation_ = 0;
+  bool armed_ = false;
+  Time deadline_ = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,22 @@
+#include "sim/logger.hpp"
+
+namespace uno {
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::log(LogLevel level, const char* fmt, ...) {
+  ++counts_[static_cast<int>(level)];
+  if (level > level_) return;
+  static const char* kPrefix[] = {"[error] ", "[warn] ", "[info] ", "[debug] "};
+  std::fputs(kPrefix[static_cast<int>(level)], stream_);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stream_, fmt, args);
+  va_end(args);
+  std::fputc('\n', stream_);
+}
+
+}  // namespace uno

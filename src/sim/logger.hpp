@@ -1,0 +1,48 @@
+// Lightweight leveled diagnostics for the simulator.
+//
+// Simulation components log through this sink instead of writing to stderr
+// directly so tests can silence or capture output. Experiment *results* do
+// not go through here — they are returned as data (see src/stats).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace uno {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  /// Process-wide logger used by simulation internals. Defaults to kWarn
+  /// on stderr; tests lower it to kError.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void set_stream(std::FILE* f) { stream_ = f; }
+
+  void log(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 3, 4)))
+#endif
+      ;
+
+  std::uint64_t messages_at(LogLevel level) const {
+    return counts_[static_cast<int>(level)];
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::FILE* stream_ = stderr;
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+};
+
+#define UNO_LOG(level, ...) ::uno::Logger::global().log(level, __VA_ARGS__)
+#define UNO_WARN(...) UNO_LOG(::uno::LogLevel::kWarn, __VA_ARGS__)
+#define UNO_INFO(...) UNO_LOG(::uno::LogLevel::kInfo, __VA_ARGS__)
+#define UNO_DEBUG(...) UNO_LOG(::uno::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace uno

@@ -1,0 +1,54 @@
+// Simulated-time representation.
+//
+// All simulation timestamps are signed 64-bit picosecond counts. At
+// picosecond resolution the serialization time of any packet on links from
+// 1 Gbps to 1.6 Tbps is exact, and the representable range (~106 days)
+// vastly exceeds any experiment horizon in this project.
+#pragma once
+
+#include <cstdint>
+
+namespace uno {
+
+/// Simulated time in picoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Sentinel for "never" / unset timestamps.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+/// Convert a time to fractional seconds (for reporting only).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+constexpr double to_microseconds(Time t) { return static_cast<double>(t) / static_cast<double>(kMicrosecond); }
+constexpr double to_milliseconds(Time t) { return static_cast<double>(t) / static_cast<double>(kMillisecond); }
+
+/// Link bandwidth in bits per second. Stored as a plain integer; helpers
+/// below convert between byte counts and serialization times.
+using Bandwidth = std::int64_t;
+
+inline constexpr Bandwidth kGbps = 1'000'000'000;
+
+/// Time to serialize `bytes` at `bw` bits/s, rounded up to a picosecond.
+constexpr Time serialization_time(std::int64_t bytes, Bandwidth bw) {
+  // bytes * 8 bits / (bw bits/s) seconds -> picoseconds.
+  // bytes*8*1e12/bw; compute in __int128 to avoid overflow for large byte
+  // counts (e.g. multi-GiB messages in the Figure 1 analytic model).
+  const __int128 num = static_cast<__int128>(bytes) * 8 * kSecond;
+  return static_cast<Time>((num + bw - 1) / bw);
+}
+
+/// Bytes fully drained in interval `dt` at `bw` bits/s (rounded down).
+constexpr std::int64_t bytes_in_interval(Time dt, Bandwidth bw) {
+  const __int128 num = static_cast<__int128>(dt) * bw;
+  return static_cast<std::int64_t>(num / (8 * kSecond));
+}
+
+/// Bandwidth-delay product in bytes for a given round-trip time.
+constexpr std::int64_t bdp_bytes(Time rtt, Bandwidth bw) { return bytes_in_interval(rtt, bw); }
+
+}  // namespace uno

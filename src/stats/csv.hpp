@@ -1,0 +1,38 @@
+// CSV export — the analogue of the paper artifact's `artifact_results/`
+// folders: benches can dump raw series and per-flow records for external
+// plotting (set UNO_BENCH_CSV_DIR to enable in the bench binaries).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stats/sampler.hpp"
+#include "transport/flow.hpp"
+
+namespace uno {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok() before relying on output.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void row(const std::vector<std::string>& cells);
+
+  static std::string fmt(double v);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Columns: time_us, then one column per series (label as header).
+/// Series may have different lengths; missing cells are left empty. The
+/// first series provides the time column.
+bool write_time_series_csv(const std::string& path,
+                           const std::vector<const TimeSeries*>& series);
+
+/// Columns: id, src, dst, interdc, bytes, start_us, fct_us, pkts, rtx, nacks.
+bool write_flow_results_csv(const std::string& path, const std::vector<FlowResult>& results);
+
+}  // namespace uno

@@ -1,0 +1,69 @@
+#include "stats/fct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uno {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * (static_cast<double>(values.size()) - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double t = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - t) + values[hi] * t;
+}
+
+FctSummary FctCollector::summarize(Class cls) const {
+  return summarize_if([cls](const FlowResult& r) {
+    switch (cls) {
+      case Class::kIntra:
+        return !r.interdc;
+      case Class::kInter:
+        return r.interdc;
+      default:
+        return true;
+    }
+  });
+}
+
+FctSummary FctCollector::summarize_if(const std::function<bool(const FlowResult&)>& pred) const {
+  std::vector<double> fcts;
+  std::vector<double> slowdowns;
+  for (const FlowResult& r : results_) {
+    if (!pred(r)) continue;
+    fcts.push_back(to_microseconds(r.completion_time));
+    if (ideal_fn_) {
+      const Time ideal = ideal_fn_(r);
+      if (ideal > 0)
+        slowdowns.push_back(static_cast<double>(r.completion_time) /
+                            static_cast<double>(ideal));
+    }
+  }
+  FctSummary s;
+  s.count = fcts.size();
+  if (fcts.empty()) return s;
+  double sum = 0;
+  for (double f : fcts) sum += f;
+  s.mean_us = sum / static_cast<double>(fcts.size());
+  s.max_us = *std::max_element(fcts.begin(), fcts.end());
+  s.p50_us = percentile(fcts, 50);
+  s.p99_us = percentile(fcts, 99);
+  if (!slowdowns.empty()) {
+    double ss = 0;
+    for (double v : slowdowns) ss += v;
+    s.mean_slowdown = ss / static_cast<double>(slowdowns.size());
+    s.p99_slowdown = percentile(slowdowns, 99);
+  }
+  return s;
+}
+
+FctCollector::IdealFn FctCollector::pipe_ideal(Bandwidth rate, Time intra_rtt, Time inter_rtt) {
+  return [rate, intra_rtt, inter_rtt](const FlowResult& r) {
+    const Time rtt = r.interdc ? inter_rtt : intra_rtt;
+    return serialization_time(static_cast<std::int64_t>(r.size_bytes), rate) + rtt;
+  };
+}
+
+}  // namespace uno

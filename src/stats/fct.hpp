@@ -1,0 +1,60 @@
+// Flow-completion-time collection and summarization.
+//
+// The experiments report mean and 99th-percentile FCT split by flow class
+// (intra- vs inter-DC), and Fig. 11 reports *slowdown* — FCT divided by the
+// flow's ideal (unloaded) completion time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transport/flow.hpp"
+
+namespace uno {
+
+struct FctSummary {
+  std::size_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double mean_slowdown = 0;
+  double p99_slowdown = 0;
+};
+
+class FctCollector {
+ public:
+  /// `ideal_fn` computes a flow's unloaded FCT (used for slowdowns); pass
+  /// nullptr to skip slowdown reporting.
+  using IdealFn = std::function<Time(const FlowResult&)>;
+  explicit FctCollector(IdealFn ideal_fn = nullptr) : ideal_fn_(std::move(ideal_fn)) {}
+
+  void add(const FlowResult& r) { results_.push_back(r); }
+  /// Completion callback to hand to flow senders.
+  FlowSender::CompletionCallback callback() {
+    return [this](const FlowResult& r) { add(r); };
+  }
+
+  std::size_t count() const { return results_.size(); }
+  const std::vector<FlowResult>& results() const { return results_; }
+
+  enum class Class { kAll, kIntra, kInter };
+  FctSummary summarize(Class cls = Class::kAll) const;
+  /// Summary over an arbitrary subset.
+  FctSummary summarize_if(const std::function<bool(const FlowResult&)>& pred) const;
+
+  /// Ideal FCT model: store-and-forward pipe of `rate` with base RTT —
+  /// size/rate + rtt (the paper's Fig. 1 completion-time model).
+  static IdealFn pipe_ideal(Bandwidth rate, Time intra_rtt, Time inter_rtt);
+
+ private:
+  IdealFn ideal_fn_;
+  std::vector<FlowResult> results_;
+};
+
+/// p-th percentile (p in [0,100]) of a copy of `values` (nearest-rank).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace uno

@@ -1,0 +1,37 @@
+// Console reporting helpers: fixed-width tables and distribution summaries
+// shared by the benchmark binaries so every figure prints in a uniform,
+// paper-comparable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+/// Quartile summary of a sample set — the textual equivalent of the paper's
+/// violin plots (Fig. 13).
+struct Distribution {
+  std::size_t count = 0;
+  double min = 0, p25 = 0, p50 = 0, p75 = 0, p99 = 0, max = 0, mean = 0;
+
+  static Distribution of(std::vector<double> values);
+  std::string to_string(const char* unit = "") const;
+};
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uno

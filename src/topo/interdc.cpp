@@ -1,0 +1,203 @@
+#include "topo/interdc.hpp"
+
+#include <cassert>
+
+namespace uno {
+
+Pipe InterDcTopology::make_border_pipe(const std::string& name, Time latency) {
+  Pipe p;
+  p.queue = std::make_unique<Queue>(eq_, name + ".q", cfg_.border_queue,
+                                    Rng::stream(0xB0DE5ULL, pipe_seq_++));
+  p.link = std::make_unique<Link>(eq_, name + ".l", latency);
+  return p;
+}
+
+InterDcTopology::InterDcTopology(EventQueue& eq, const InterDcConfig& cfg)
+    : eq_(eq), cfg_(cfg) {
+  assert(cfg_.num_dcs >= 2);
+  FatTreeConfig ft;
+  ft.k = cfg_.k;
+  ft.link_rate = cfg_.link_rate;
+  ft.host_link_latency = cfg_.host_link_latency;
+  ft.fabric_link_latency = cfg_.fabric_link_latency;
+  ft.queue = cfg_.queue;
+  ft.uplink_queue = cfg_.uplink_queue;
+  ft.nic_queue = cfg_.nic_queue;
+  for (int d = 0; d < cfg_.num_dcs; ++d) dcs_.push_back(std::make_unique<FatTreeDC>(eq, d, ft));
+
+  core_border_.resize(cfg_.num_dcs);
+  border_cross_.resize(cfg_.num_dcs);
+  border_core_.resize(cfg_.num_dcs);
+  const int ncores = dcs_[0]->num_cores();
+  for (int d = 0; d < cfg_.num_dcs; ++d) {
+    const std::string b = "dc" + std::to_string(d) + ".border";
+    for (int c = 0; c < ncores; ++c) {
+      core_border_[d].push_back(
+          make_border_pipe(b + ".from_core" + std::to_string(c), cfg_.fabric_link_latency));
+      border_core_[d].push_back(
+          make_border_pipe(b + ".to_core" + std::to_string(c), cfg_.fabric_link_latency));
+    }
+    for (int peer = 0; peer < cfg_.num_dcs; ++peer) {
+      for (int j = 0; j < cfg_.cross_links; ++j) {
+        if (peer == d) {
+          border_cross_[d].emplace_back();  // diagonal: no self links
+        } else {
+          border_cross_[d].push_back(make_border_pipe(
+              b + ".cross" + std::to_string(peer) + "." + std::to_string(j),
+              cfg_.cross_link_latency));
+        }
+      }
+    }
+  }
+}
+
+const PathSet& InterDcTopology::paths(int src, int dst) {
+  const std::uint64_t key = path_key(src, dst);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return *it->second;
+  auto ps = std::make_unique<PathSet>(build_paths(src, dst));
+  const PathSet& ref = *ps;
+  path_cache_.emplace(key, std::move(ps));
+  return ref;
+}
+
+PathSet InterDcTopology::build_paths(int src, int dst) {
+  assert(src != dst);
+  PathSet ps;
+  build_forward_routes(src, dst, ps.forward);
+  build_forward_routes(dst, src, ps.reverse);
+  // Pair forward/reverse by index so a subflow's ACKs consistently use one
+  // return path. The counts always match because route construction is
+  // symmetric in (src,dst) roles.
+  assert(ps.forward.size() == ps.reverse.size());
+  for (std::size_t i = 0; i < ps.forward.size(); ++i) {
+    ps.forward[i].path_id = static_cast<std::uint16_t>(i);
+    ps.reverse[i].path_id = static_cast<std::uint16_t>(i);
+  }
+  return ps;
+}
+
+void InterDcTopology::build_forward_routes(int src, int dst, std::vector<Route>& out) {
+  const int sd = dc_of(src), dd = dc_of(dst);
+  const int s = local_id(src), t = local_id(dst);
+  FatTreeDC& S = *dcs_[sd];
+  FatTreeDC& D = *dcs_[dd];
+  const int r = S.radix();
+
+  auto finish = [&](Route& route) {
+    route.hops.push_back(&D.host(t));
+    out.push_back(std::move(route));
+  };
+
+  if (sd == dd) {
+    const int es = S.edge_index(s), et = S.edge_index(t);
+    if (es == et) {
+      Route route;
+      S.host_up(s).append_to(route);
+      S.edge_down(et, S.port_of(t)).append_to(route);
+      finish(route);
+      return;
+    }
+    if (S.pod_of(s) == S.pod_of(t)) {
+      // One path per aggregation switch in the pod.
+      for (int a = 0; a < r && static_cast<int>(out.size()) < cfg_.max_paths_intra; ++a) {
+        Route route;
+        S.host_up(s).append_to(route);
+        S.edge_up(es, a).append_to(route);
+        S.agg_down(S.pod_of(t), a, S.edge_of(t)).append_to(route);
+        S.edge_down(et, S.port_of(t)).append_to(route);
+        finish(route);
+      }
+      return;
+    }
+    // Cross-pod: one path per (agg slot, core slot).
+    for (int a = 0; a < r; ++a) {
+      for (int cs = 0; cs < r; ++cs) {
+        if (static_cast<int>(out.size()) >= cfg_.max_paths_intra) return;
+        const int core = S.core_index(a, cs);
+        Route route;
+        S.host_up(s).append_to(route);
+        S.edge_up(es, a).append_to(route);
+        S.agg_up(S.pod_of(s), a, cs).append_to(route);
+        S.core_down(core, S.pod_of(t)).append_to(route);
+        S.agg_down(S.pod_of(t), S.core_group(core), S.edge_of(t)).append_to(route);
+        S.edge_down(et, S.port_of(t)).append_to(route);
+        finish(route);
+      }
+    }
+    return;
+  }
+
+  // Inter-DC: sample (agg, core, cross link, remote core) combinations
+  // deterministically per (src,dst). The cross link is cycled so the first
+  // cfg_.cross_links entropies cover all WAN links — UnoLB relies on the
+  // entropy set spanning distinct border links.
+  Rng rng = Rng::stream(cfg_.seed, path_key(src, dst));
+  const int es = S.edge_index(s), et = D.edge_index(t);
+  const int ncores = S.num_cores();
+  for (int i = 0; i < cfg_.max_paths_inter; ++i) {
+    const int a = static_cast<int>(rng.uniform_below(r));
+    const int cs = static_cast<int>(rng.uniform_below(r));
+    const int j = i % cfg_.cross_links;
+    const int c2 = static_cast<int>(rng.uniform_below(ncores));
+    const int core = S.core_index(a, cs);
+    Route route;
+    S.host_up(s).append_to(route);
+    S.edge_up(es, a).append_to(route);
+    S.agg_up(S.pod_of(s), a, cs).append_to(route);
+    core_border_[sd][core].append_to(route);
+    cross_pipe(sd, dd, j).append_to(route);
+    border_core_[dd][c2].append_to(route);
+    D.core_down(c2, D.pod_of(t)).append_to(route);
+    D.agg_down(D.pod_of(t), D.core_group(c2), D.edge_of(t)).append_to(route);
+    D.edge_down(et, D.port_of(t)).append_to(route);
+    finish(route);
+  }
+}
+
+std::vector<Queue*> InterDcTopology::all_queues() const {
+  std::vector<Queue*> out;
+  for (const auto& dc : dcs_) {
+    auto q = dc->all_queues();
+    out.insert(out.end(), q.begin(), q.end());
+  }
+  for (const auto& side : {&core_border_, &border_cross_, &border_core_})
+    for (const auto& per_dc : *side)
+      for (const Pipe& p : per_dc)
+        if (p.queue) out.push_back(p.queue.get());
+  return out;
+}
+
+std::vector<Queue*> InterDcTopology::source_side_queues(int dc) const {
+  std::vector<Queue*> out = dcs_[dc]->uplink_queues();
+  for (const Pipe& p : core_border_[dc]) out.push_back(p.queue.get());
+  return out;
+}
+
+std::vector<Link*> InterDcTopology::all_links() const {
+  std::vector<Link*> out;
+  for (const auto& dc : dcs_) {
+    auto l = dc->all_links();
+    out.insert(out.end(), l.begin(), l.end());
+  }
+  for (const auto& side : {&core_border_, &border_cross_, &border_core_})
+    for (const auto& per_dc : *side)
+      for (const Pipe& p : per_dc)
+        if (p.link) out.push_back(p.link.get());
+  return out;
+}
+
+std::uint64_t InterDcTopology::total_drops() const {
+  std::uint64_t drops = 0;
+  for (const Queue* q : all_queues()) drops += q->drops();
+  for (const Link* l : all_links()) drops += l->dropped();
+  return drops;
+}
+
+std::uint64_t InterDcTopology::total_trims() const {
+  std::uint64_t trims = 0;
+  for (const Queue* q : all_queues()) trims += q->trims();
+  return trims;
+}
+
+}  // namespace uno

@@ -1,0 +1,128 @@
+// Two fat-tree datacenters joined by border switches — the paper's topology:
+// "two 8-ary fat-tree datacenters ... connected through two border switches
+// that are interconnected through eight links. Also, every core switch is
+// connected to a border switch" (§5.1).
+//
+// The topology owns all queues/links/hosts and lazily builds cached source
+// routes per ordered host pair. Inter-DC path diversity (agg x core x
+// cross-link x remote core) is sampled down to `max_paths_inter` entropies.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/fattree.hpp"
+#include "topo/pathset.hpp"
+
+namespace uno {
+
+struct InterDcConfig {
+  int k = 8;      // fat-tree arity per DC
+  int num_dcs = 2;  // the paper's setup; >2 builds a full mesh of borders
+  int cross_links = 8;  // parallel links between each pair of borders
+  Bandwidth link_rate = 100 * kGbps;
+
+  // Latencies chosen so the propagation-only base RTTs match Table 2:
+  // intra cross-pod RTT = 2*(2*host + 4*fabric) = 14 us,
+  // inter RTT = 2*(2*host + 6*fabric + cross) = 2 ms.
+  Time host_link_latency = 500 * kNanosecond;
+  Time fabric_link_latency = 1500 * kNanosecond;
+  Time cross_link_latency = 990 * kMicrosecond;
+
+  QueueConfig queue;         // intra-DC ports
+  QueueConfig uplink_queue;  // edge->agg / agg->core ports
+  QueueConfig border_queue;  // WAN-facing ports (core<->border, cross links)
+  QueueConfig nic_queue;     // host TX buffer: deep, software-backpressured
+
+  int max_paths_intra = 16;
+  int max_paths_inter = 32;
+  std::uint64_t seed = 42;
+
+  /// Cross-link latency that yields a given inter-DC base RTT with the
+  /// current host/fabric latencies.
+  Time cross_latency_for_rtt(Time inter_rtt) const {
+    return inter_rtt / 2 - (2 * host_link_latency + 6 * fabric_link_latency);
+  }
+  /// Propagation-only base RTTs implied by the latency settings.
+  Time intra_base_rtt() const { return 2 * (2 * host_link_latency + 4 * fabric_link_latency); }
+  Time inter_base_rtt() const {
+    return 2 * (2 * host_link_latency + 6 * fabric_link_latency + cross_link_latency);
+  }
+};
+
+class InterDcTopology {
+ public:
+  InterDcTopology(EventQueue& eq, const InterDcConfig& cfg);
+
+  const InterDcConfig& config() const { return cfg_; }
+
+  int num_dcs() const { return cfg_.num_dcs; }
+  int hosts_per_dc() const { return dcs_[0]->num_hosts(); }
+  int num_hosts() const { return hosts_per_dc() * num_dcs(); }
+  int dc_of(int host) const { return host / hosts_per_dc(); }
+  int local_id(int host) const { return host % hosts_per_dc(); }
+  bool is_interdc(int src, int dst) const { return dc_of(src) != dc_of(dst); }
+
+  Host& host(int h) { return dcs_[dc_of(h)]->host(local_id(h)); }
+  FatTreeDC& dc(int d) { return *dcs_[d]; }
+
+  /// Cached path set for an ordered pair of distinct hosts.
+  const PathSet& paths(int src, int dst);
+
+  /// The edge->host port feeding `host` (the incast bottleneck in Figs 3/4/8).
+  Queue& host_ingress_queue(int host) {
+    return *dcs_[dc_of(host)]->edge_down_for_host(local_id(host)).queue;
+  }
+  Queue& host_egress_queue(int host) {
+    return *dcs_[dc_of(host)]->host_up(local_id(host)).queue;
+  }
+
+  /// Directed cross-DC link j from DC `dc` toward DC `peer` (failure
+  /// injection, Fig 13A). The two-argument form assumes the paper's two-DC
+  /// setup and targets the other datacenter.
+  Link& cross_link(int dc, int peer, int j) { return *cross_pipe(dc, peer, j).link; }
+  Queue& cross_queue(int dc, int peer, int j) { return *cross_pipe(dc, peer, j).queue; }
+  Link& cross_link(int dc, int j) { return cross_link(dc, dc == 0 ? 1 : 0, j); }
+  Queue& cross_queue(int dc, int j) { return cross_queue(dc, dc == 0 ? 1 : 0, j); }
+  int cross_link_count() const { return cfg_.cross_links; }
+
+  /// WAN-facing links from DC `dc` core `c` toward the border (and back).
+  Link& core_border_link(int dc, int c) { return *core_border_[dc][c].link; }
+  Link& border_core_link(int dc, int c) { return *border_core_[dc][c].link; }
+
+  std::vector<Queue*> all_queues() const;
+  /// Source-side ports of DC `dc` (uplinks + core->border): the QCN scope.
+  std::vector<Queue*> source_side_queues(int dc) const;
+  std::vector<Link*> all_links() const;
+
+  /// Total packets dropped anywhere in the fabric (conservation checks).
+  std::uint64_t total_drops() const;
+  /// Total packets trimmed to headers anywhere in the fabric.
+  std::uint64_t total_trims() const;
+
+ private:
+  PathSet build_paths(int src, int dst);
+  void build_forward_routes(int src, int dst, std::vector<Route>& out);
+  Pipe make_border_pipe(const std::string& name, Time latency);
+
+  EventQueue& eq_;
+  InterDcConfig cfg_;
+  std::uint64_t pipe_seq_ = 1000000;  // distinct RNG streams from fat-tree pipes
+
+  Pipe& cross_pipe(int dc, int peer, int j) {
+    return border_cross_[dc][static_cast<std::size_t>(peer) * cfg_.cross_links + j];
+  }
+
+  std::vector<std::unique_ptr<FatTreeDC>> dcs_;
+  // WAN plumbing, indexed by [dc][...]:
+  std::vector<std::vector<Pipe>> core_border_;  // core c -> own border
+  // own border -> border of DC `peer`, link j, laid out peer-major with
+  // empty Pipes on the diagonal (no self links).
+  std::vector<std::vector<Pipe>> border_cross_;
+  std::vector<std::vector<Pipe>> border_core_;  // own border -> core c (arrivals side)
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<PathSet>> path_cache_;
+};
+
+}  // namespace uno

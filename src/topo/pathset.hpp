@@ -1,0 +1,29 @@
+// Path sets: the bundle of source routes between one ordered host pair.
+//
+// `forward[i]` and `reverse[i]` are paired: a flow that sends data on
+// entropy i returns its ACKs on reverse[i], so control traffic experiences
+// the same multipath diversity as data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace uno {
+
+struct PathSet {
+  std::vector<Route> forward;
+  std::vector<Route> reverse;
+
+  std::size_t size() const { return forward.size(); }
+  bool empty() const { return forward.empty(); }
+};
+
+/// Key for the (src,dst) path cache.
+constexpr std::uint64_t path_key(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+}  // namespace uno

@@ -1,0 +1,108 @@
+#include "transport/bbr.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+namespace {
+constexpr double kProbeGains[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+}
+
+BbrCc::BbrCc(const CcParams& cc) : BbrCc(cc, Params()) {}
+
+BbrCc::BbrCc(const CcParams& cc, const Params& params)
+    : cc_(cc), p_(params), pacing_gain_(params.startup_gain) {
+  p_.bw_window_rounds = std::clamp(p_.bw_window_rounds, 1,
+                                   static_cast<int>(bw_samples_.size()));
+}
+
+std::int64_t BbrCc::bdp_estimate() const {
+  if (btlbw_ <= 0.0 || rtprop_ == kTimeInfinity)
+    return p_.initial_cwnd_pkts * cc_.mtu;
+  return static_cast<std::int64_t>(btlbw_ * to_seconds(rtprop_));
+}
+
+std::int64_t BbrCc::cwnd() const {
+  return std::max<std::int64_t>(
+      cc_.mtu, static_cast<std::int64_t>(p_.cwnd_gain * static_cast<double>(bdp_estimate())));
+}
+
+double BbrCc::pacing_rate() const {
+  if (btlbw_ <= 0.0) {
+    // No bandwidth sample yet: pace the initial window over the base RTT.
+    return static_cast<double>(p_.initial_cwnd_pkts * cc_.mtu) * kSecond /
+           static_cast<double>(cc_.base_rtt);
+  }
+  return pacing_gain_ * btlbw_;
+}
+
+void BbrCc::on_ack(const AckEvent& ack) {
+  rtprop_ = std::min(rtprop_, ack.rtt);
+  if (!round_active_) {
+    round_active_ = true;
+    round_start_ = ack.now;
+    round_bytes_ = 0;
+    return;
+  }
+  round_bytes_ += ack.bytes_acked;
+  if (ack.pkt_sent_time >= round_start_) end_round(ack.now);
+}
+
+void BbrCc::end_round(Time now) {
+  const Time dt = std::max<Time>(now - round_start_, 1);
+  const double sample = static_cast<double>(round_bytes_) * kSecond / static_cast<double>(dt);
+  bw_samples_[bw_head_] = sample;
+  bw_head_ = (bw_head_ + 1) % p_.bw_window_rounds;
+  bw_count_ = std::min(bw_count_ + 1, p_.bw_window_rounds);
+  btlbw_ = 0.0;
+  for (int i = 0; i < bw_count_; ++i) btlbw_ = std::max(btlbw_, bw_samples_[i]);
+
+  update_state(now);
+  round_start_ = now;
+  round_bytes_ = 0;
+}
+
+void BbrCc::update_state(Time now) {
+  switch (state_) {
+    case State::kStartup:
+      if (btlbw_ > full_bw_ * 1.25) {
+        full_bw_ = btlbw_;
+        full_bw_rounds_ = 0;
+      } else if (++full_bw_rounds_ >= p_.startup_full_bw_rounds) {
+        state_ = State::kDrain;
+        pacing_gain_ = 1.0 / p_.startup_gain;
+        phase_start_ = now;
+      }
+      break;
+    case State::kDrain:
+      // Drain the startup queue for one min-RTT, then cruise.
+      if (rtprop_ != kTimeInfinity && now - phase_start_ >= rtprop_) {
+        state_ = State::kProbeBw;
+        probe_phase_ = 0;
+        pacing_gain_ = kProbeGains[0];
+        phase_start_ = now;
+      }
+      break;
+    case State::kProbeBw:
+      if (rtprop_ != kTimeInfinity && now - phase_start_ >= rtprop_) {
+        probe_phase_ = (probe_phase_ + 1) % 8;
+        pacing_gain_ = kProbeGains[probe_phase_];
+        phase_start_ = now;
+      }
+      break;
+  }
+}
+
+void BbrCc::on_loss(Time) {
+  // BBR does not react to individual losses; rate is model-driven. A full
+  // RTO still implies the model is stale, so restart the filters.
+  btlbw_ = 0.0;
+  bw_count_ = 0;
+  bw_head_ = 0;
+  full_bw_ = 0.0;
+  full_bw_rounds_ = 0;
+  state_ = State::kStartup;
+  pacing_gain_ = p_.startup_gain;
+}
+
+}  // namespace uno

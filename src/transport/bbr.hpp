@@ -1,0 +1,78 @@
+// BBR [Cardwell et al., CACM'17], simplified v1 — the WAN half of the
+// paper's MPRDMA+BBR baseline.
+//
+// Model-based rate control: maintains a windowed-max bottleneck-bandwidth
+// estimate and a windowed-min propagation RTT, and paces at gain × btlbw.
+//   STARTUP  — gain 2/ln2 ≈ 2.885, exits after 3 rounds without 25% BW growth
+//   DRAIN    — inverse gain until inflight <= estimated BDP
+//   PROBE_BW — 8-phase gain cycle {1.25, 0.75, 1, 1, 1, 1, 1, 1}, one phase
+//              per min-RTT
+// The cwnd cap is 2 × estimated BDP. PROBE_RTT is omitted: the experiment
+// flows are short relative to its 10-second cadence.
+#pragma once
+
+#include <array>
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class BbrCc final : public CongestionControl {
+ public:
+  struct Params {
+    double startup_gain = 2.885;
+    double cwnd_gain = 2.0;
+    int bw_window_rounds = 10;       // max filter length
+    int startup_full_bw_rounds = 3;  // plateau detection
+    std::int64_t initial_cwnd_pkts = 10;
+  };
+
+  explicit BbrCc(const CcParams& cc);
+  BbrCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  /// BBR deliberately ignores individual (fast-detected) losses — its rate
+  /// is model-based; only a full RTO restarts the model.
+  void on_nack(Time) override {}
+  std::int64_t cwnd() const override;
+  double pacing_rate() const override;
+  const char* name() const override { return "bbr"; }
+
+  enum class State { kStartup, kDrain, kProbeBw };
+  State state() const { return state_; }
+  double btlbw() const { return btlbw_; }  // bytes/sec
+  Time rtprop() const { return rtprop_; }
+
+ private:
+  void end_round(Time now);
+  void update_state(Time now);
+  std::int64_t bdp_estimate() const;
+
+  CcParams cc_;
+  Params p_;
+
+  State state_ = State::kStartup;
+  double pacing_gain_;
+  int probe_phase_ = 0;
+  Time phase_start_ = 0;
+
+  double btlbw_ = 0.0;       // windowed max of delivery-rate samples
+  Time rtprop_ = kTimeInfinity;
+  std::array<double, 16> bw_samples_{};  // ring of per-round samples
+  int bw_head_ = 0;
+  int bw_count_ = 0;
+
+  // Round / delivery-rate accounting.
+  bool round_active_ = false;
+  Time round_start_ = 0;
+  std::int64_t round_bytes_ = 0;
+
+  // STARTUP plateau detection.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+
+  std::int64_t inflight_estimate_ = 0;  // coarse: bytes acked since round start
+};
+
+}  // namespace uno

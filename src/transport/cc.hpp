@@ -1,0 +1,69 @@
+// Congestion-control strategy interface.
+//
+// CC modules are pure state machines driven by ACK/loss notifications from
+// the flow sender; they own no timers. Time-based logic (UnoCC epochs and
+// Quick Adapt, BBR's filters) is clocked by ACK arrivals, which matches how
+// the paper's mechanisms are specified (per-ACK AI, per-epoch MD, QA check
+// once per RTT).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+/// Per-flow constants every CC receives at construction.
+struct CcParams {
+  Time base_rtt = 14 * kMicrosecond;   // this flow's propagation RTT
+  Time intra_rtt = 14 * kMicrosecond;  // datacenter RTT (UnoCC epoch base)
+  Bandwidth line_rate = 100 * kGbps;   // bottleneck line rate
+  std::int64_t mtu = 4096;
+  /// Message size, when known (message-based transports know it). Kept as
+  /// metadata for CCs; deliberately NOT used to cap the initial window —
+  /// pacing is cwnd/base_rtt, so a size-capped window would pace a small
+  /// WAN message at size/RTT and add a whole RTT to every latency-bound
+  /// transfer (the opposite of the paper's goal).
+  std::int64_t flow_bytes = 0;  // 0 = unknown
+
+  std::int64_t bdp() const { return bdp_bytes(base_rtt, line_rate); }
+  std::int64_t intra_bdp() const { return bdp_bytes(intra_rtt, line_rate); }
+  /// Initial window: `fraction` x BDP, floored at one MTU.
+  double initial_window(double fraction) const {
+    return std::max(fraction * static_cast<double>(bdp()), static_cast<double>(mtu));
+  }
+};
+
+/// One acknowledged data packet, as seen by the sender.
+struct AckEvent {
+  Time now = 0;
+  std::int64_t bytes_acked = 0;  // 0 for duplicate ACKs
+  bool ecn = false;              // ECN-echo of the acked packet
+  Time rtt = 0;                  // now - transmission time of the acked packet
+  Time pkt_sent_time = 0;        // when the acked packet left the sender
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ack) = 0;
+  /// Retransmission timeout fired (packets declared lost).
+  virtual void on_loss(Time now) = 0;
+  /// Receiver NACKed an unrecoverable EC block.
+  virtual void on_nack(Time now) { on_loss(now); }
+  /// Annulus-style near-source congestion notification (default: ignored).
+  virtual void on_qcn(Time now) { (void)now; }
+
+  /// Current congestion window in bytes (always >= 1 MTU).
+  virtual std::int64_t cwnd() const = 0;
+  /// Pacing rate in bytes/sec; 0 means window-limited only (no pacing).
+  virtual double pacing_rate() const { return 0.0; }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,44 @@
+#include "transport/dctcp.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+DctcpCc::DctcpCc(const CcParams& cc) : DctcpCc(cc, Params()) {}
+
+DctcpCc::DctcpCc(const CcParams& cc, const Params& params) : cc_(cc), p_(params) {
+  cwnd_ = cc_.initial_window(p_.initial_cwnd_bdp);
+}
+
+void DctcpCc::on_ack(const AckEvent& ack) {
+  if (!round_active_) {
+    round_active_ = true;
+    round_start_ = ack.now;
+    return;
+  }
+  ++round_acked_;
+  if (ack.ecn) ++round_marked_;
+  if (ack.pkt_sent_time >= round_start_) end_round(ack.now);
+}
+
+void DctcpCc::end_round(Time now) {
+  const double frac = round_acked_ == 0 ? 0.0
+                                        : static_cast<double>(round_marked_) /
+                                              static_cast<double>(round_acked_);
+  alpha_ = (1.0 - p_.ewma_gain) * alpha_ + p_.ewma_gain * frac;
+  if (round_marked_ > 0) {
+    cwnd_ *= (1.0 - alpha_ / 2.0);
+  } else {
+    cwnd_ += static_cast<double>(cc_.mtu);
+  }
+  cwnd_ = std::max(cwnd_, static_cast<double>(cc_.mtu));
+  round_start_ = now;
+  round_acked_ = 0;
+  round_marked_ = 0;
+}
+
+void DctcpCc::on_loss(Time) {
+  cwnd_ = std::max(cwnd_ / 2.0, static_cast<double>(cc_.mtu));
+}
+
+}  // namespace uno

@@ -1,0 +1,42 @@
+// DCTCP [Alizadeh et al., SIGCOMM'10] — an additional well-understood
+// baseline and the reference behaviour for several transport tests.
+//
+// Classic per-RTT control: EWMA α of the ECN-marked fraction; on a marked
+// round cwnd *= (1 - α/2), otherwise additive increase of one MTU per RTT.
+#pragma once
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class DctcpCc final : public CongestionControl {
+ public:
+  struct Params {
+    double ewma_gain = 1.0 / 16.0;
+    double initial_cwnd_bdp = 1.0;
+  };
+
+  explicit DctcpCc(const CcParams& cc);
+  DctcpCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  std::int64_t cwnd() const override { return static_cast<std::int64_t>(cwnd_); }
+  const char* name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  void end_round(Time now);
+
+  CcParams cc_;
+  Params p_;
+  double cwnd_;
+  double alpha_ = 0.0;
+  bool round_active_ = false;
+  Time round_start_ = 0;
+  std::uint64_t round_acked_ = 0;
+  std::uint64_t round_marked_ = 0;
+};
+
+}  // namespace uno

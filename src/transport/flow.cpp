@@ -1,0 +1,463 @@
+#include "transport/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uno {
+
+// ---------------------------------------------------------------------------
+// FlowSender
+// ---------------------------------------------------------------------------
+
+FlowSender::FlowSender(EventQueue& eq, const FlowParams& params, const PathSet* paths,
+                       std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
+                       CompletionCallback on_complete)
+    : eq_(eq),
+      params_(params),
+      paths_(paths),
+      cc_(std::move(cc)),
+      lb_(std::move(lb)),
+      on_complete_(std::move(on_complete)),
+      name_("flow" + std::to_string(params.id) + ".snd"),
+      frame_(params.size_bytes, params.mtu, params.ec_enabled, params.ec_data,
+             params.ec_parity),
+      rto_timer_(eq, this, kTagRto) {
+  assert(paths_ != nullptr && !paths_->empty());
+  assert(cc_ != nullptr && lb_ != nullptr);
+  state_.assign(frame_.total_packets(), PktState::kUnsent);
+  entropy_of_.assign(frame_.total_packets(), 0);
+  sent_time_of_.assign(frame_.total_packets(), -1);
+  if (params_.verify_payload && frame_.ec_enabled())
+    payload_store_ = std::make_unique<PayloadStore>(params_.id, frame_,
+                                                    params_.payload_shard_bytes);
+}
+
+void FlowSender::start() {
+  assert(!started_);
+  if (params_.start_time <= eq_.now()) {
+    started_ = true;
+    try_send();
+  } else {
+    eq_.schedule_at(params_.start_time, this, kTagStart);
+  }
+}
+
+void FlowSender::on_event(std::uint32_t tag) {
+  switch (tag) {
+    case kTagStart:
+      started_ = true;
+      try_send();
+      break;
+    case kTagPacing:
+      pacing_timer_armed_ = false;
+      try_send();
+      break;
+    case kTagRto:
+      on_rto();
+      break;
+    default:
+      assert(false && "unknown sender event tag");
+  }
+}
+
+std::int64_t FlowSender::next_seq_to_send() {
+  // Retransmissions take priority over first transmissions.
+  while (!rtx_queue_.empty()) {
+    const std::uint64_t seq = rtx_queue_.front();
+    if (state_[seq] != PktState::kLost ||
+        (frame_.ec_enabled() && frame_.block_complete(frame_.shard_of(seq).block))) {
+      rtx_queue_.pop_front();  // acked meanwhile, or its block became decodable
+      continue;
+    }
+    return static_cast<std::int64_t>(seq);
+  }
+  while (next_new_seq_ < frame_.total_packets()) {
+    if (frame_.ec_enabled() &&
+        frame_.block_complete(frame_.shard_of(next_new_seq_).block)) {
+      ++next_new_seq_;  // block already decodable; its tail is redundant
+      continue;
+    }
+    return static_cast<std::int64_t>(next_new_seq_);
+  }
+  return -1;
+}
+
+void FlowSender::try_send() {
+  if (!started_ || done_) return;
+  const double rate = cc_->pacing_rate();
+  while (true) {
+    const std::int64_t seq = next_seq_to_send();
+    if (seq < 0) break;
+    const std::uint32_t size = frame_.shard_of(seq).size;
+    if (bytes_in_flight_ > 0 && bytes_in_flight_ + size > cc_->cwnd()) break;
+    if (rate > 0.0) {
+      const Time now = eq_.now();
+      if (now < next_send_time_) {
+        if (!pacing_timer_armed_) {
+          pacing_timer_armed_ = true;
+          eq_.schedule_at(next_send_time_, this, kTagPacing);
+        }
+        break;
+      }
+      next_send_time_ = std::max(now, next_send_time_) +
+                        static_cast<Time>(static_cast<double>(size) * kSecond / rate);
+    }
+    const bool rtx = state_[seq] == PktState::kLost;
+    if (rtx)
+      rtx_queue_.pop_front();
+    else
+      ++next_new_seq_;
+    send_packet(seq, rtx);
+  }
+}
+
+bool FlowSender::send_packet(std::uint64_t seq, bool is_retransmit) {
+  const BlockFrame::Shard shard = frame_.shard_of(seq);
+  const std::uint16_t entropy =
+      static_cast<std::uint16_t>(lb_->pick(seq) % paths_->size());
+  Packet p = make_data_packet(params_.id, seq, shard.size);
+  p.block_id = shard.block;
+  p.shard = shard.index;
+  p.is_parity = shard.parity;
+  p.retransmit = is_retransmit;
+  p.src_host = params_.src;
+  if (payload_store_) p.payload = &payload_store_->shard(seq);
+  p.sent_time = eq_.now();
+  p.entropy = entropy;
+  p.subflow = static_cast<std::uint8_t>(entropy & 0xFF);
+  p.route = &paths_->forward[entropy];
+  p.hop = 0;
+
+  state_[seq] = PktState::kInflight;
+  entropy_of_[seq] = entropy;
+  sent_time_of_[seq] = eq_.now();
+  send_order_.emplace_back(eq_.now(), seq);
+  bytes_in_flight_ += shard.size;
+  bytes_sent_ += shard.size;
+  ++packets_sent_;
+  if (is_retransmit) ++retransmits_;
+  if (first_send_time_ < 0) first_send_time_ = eq_.now();
+  // The loss timer fires at expiry granularity (tail losses produce no ACKs
+  // to clock detect_losses) and escalates to a full RTO on real silence.
+  if (!rto_timer_.armed()) rto_timer_.arm_in(params_.effective_loss_expiry());
+
+  forward(std::move(p));
+  return true;
+}
+
+void FlowSender::receive(Packet p) {
+  if (p.type == PacketType::kAck)
+    handle_ack(p);
+  else if (p.type == PacketType::kNack)
+    handle_nack(p);
+  else if (p.type == PacketType::kTrimNack)
+    handle_trim_nack(p);
+  else if (p.type == PacketType::kQcn && !done_)
+    cc_->on_qcn(eq_.now());
+  // Data packets can only arrive here if a route was miswired; drop them.
+}
+
+void FlowSender::handle_trim_nack(const Packet& nack) {
+  if (done_) return;
+  const std::uint64_t seq = nack.ack_seq;
+  assert(seq < frame_.total_packets());
+  // Only authoritative for the transmission it refers to: if the shard was
+  // meanwhile acked, declared lost, or retransmitted, ignore the stale trim.
+  if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != nack.echo_sent_time)
+    return;
+  state_[seq] = PktState::kLost;
+  bytes_in_flight_ -= frame_.shard_of(seq).size;
+  rtx_queue_.push_back(seq);
+  signal_loss_to_cc();
+  try_send();
+}
+
+void FlowSender::handle_ack(const Packet& ack) {
+  if (done_) return;
+  const std::uint64_t seq = ack.ack_seq;
+  assert(seq < frame_.total_packets());
+  lb_->on_ack(ack.entropy, ack.ecn_echo, eq_.now());
+
+  if (state_[seq] == PktState::kAcked) return;  // duplicate delivery
+  if (state_[seq] == PktState::kInflight) bytes_in_flight_ -= frame_.shard_of(seq).size;
+  state_[seq] = PktState::kAcked;
+  const std::uint32_t size = frame_.shard_of(seq).size;
+  acked_bytes_ += size;
+  last_progress_ = eq_.now();
+  frame_.mark(seq);
+
+  AckEvent ev;
+  ev.now = eq_.now();
+  ev.bytes_acked = size;
+  ev.ecn = ack.ecn_echo;
+  ev.rtt = eq_.now() - ack.echo_sent_time;
+  ev.pkt_sent_time = ack.echo_sent_time;
+  cc_->on_ack(ev);
+
+  if (frame_.complete()) {
+    complete();
+    return;
+  }
+  highest_acked_sent_ = std::max(highest_acked_sent_, ack.echo_sent_time);
+  detect_losses();
+  try_send();
+}
+
+Time FlowSender::oldest_inflight_sent() {
+  while (!send_order_.empty()) {
+    const auto [sent, seq] = send_order_.front();
+    if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != sent) {
+      send_order_.pop_front();
+      continue;
+    }
+    return sent;
+  }
+  return -1;
+}
+
+void FlowSender::detect_losses() {
+  const Time window = params_.effective_rack_window();
+  const Time expiry = params_.effective_loss_expiry();
+  const Time now = eq_.now();
+  bool lost_any = false;
+  while (!send_order_.empty()) {
+    const auto [sent, seq] = send_order_.front();
+    if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != sent) {
+      send_order_.pop_front();  // acked, already queued for rtx, or resent
+      continue;
+    }
+    const bool rack_lost = sent + window < highest_acked_sent_;
+    const bool expired = sent + expiry <= now;
+    if (!rack_lost && !expired) break;  // still plausibly in flight
+    send_order_.pop_front();
+    state_[seq] = PktState::kLost;
+    bytes_in_flight_ -= frame_.shard_of(seq).size;
+    rtx_queue_.push_back(seq);
+    if (!lost_any) {
+      // First detected loss of this batch: hint the load balancer about the
+      // path it died on. UnoLB treats it like a NACK (rate-limited reroute
+      // away from failed links even when EC/NACKs are off); PLB and RPS
+      // ignore loss hints by design.
+      lb_->on_nack(entropy_of_[seq], now);
+    }
+    lost_any = true;
+  }
+  if (lost_any) signal_loss_to_cc();
+}
+
+void FlowSender::signal_loss_to_cc() {
+  // Losses signal congestion, but at most once per RTT (like a DCTCP
+  // loss-round); the NACK hook gives each CC its moderate-reduction path.
+  if (eq_.now() - last_fast_loss_signal_ <= params_.base_rtt) return;
+  last_fast_loss_signal_ = eq_.now();
+  cc_->on_nack(eq_.now());
+}
+
+void FlowSender::handle_nack(const Packet& nack) {
+  if (done_) return;
+  ++nacks_received_;
+  const std::uint32_t block = nack.nack_block;
+  assert(block < frame_.num_blocks());
+  if (frame_.block_complete(block)) return;  // stale NACK; already decodable
+
+  // Declare the block's *stale* in-flight shards lost and queue them for
+  // retransmission; shards sent within the last block_timeout are likely
+  // still in transit and are left alone (the receiver re-NACKs if they
+  // never land). Blame the path of the first missing shard.
+  const std::uint64_t first = frame_.first_seq_of_block(block);
+  const std::uint64_t end = first + frame_.shards_in_block(block);
+  const Time stale_before = eq_.now() - params_.block_timeout;
+  bool blamed = false;
+  for (std::uint64_t seq = first; seq < end; ++seq) {
+    if (state_[seq] == PktState::kInflight && sent_time_of_[seq] <= stale_before) {
+      state_[seq] = PktState::kLost;
+      bytes_in_flight_ -= frame_.shard_of(seq).size;
+      rtx_queue_.push_back(seq);
+      if (!blamed) {
+        lb_->on_nack(entropy_of_[seq], eq_.now());
+        blamed = true;
+      }
+    }
+  }
+  if (!blamed) lb_->on_nack(nack.entropy, eq_.now());
+  signal_loss_to_cc();
+  try_send();
+}
+
+void FlowSender::on_rto() {
+  if (done_) return;
+  // Lazy two-stage loss timer, anchored to the oldest outstanding
+  // transmission:
+  //  * at oldest + loss_expiry: run the expiry scan (recovers tail losses
+  //    that produce no ACKs to clock detect_losses) and retransmit under
+  //    the current window — no window collapse;
+  //  * at oldest + RTO with ACKs genuinely silent: classic full RTO —
+  //    declare everything lost and let the CC collapse.
+  const Time now = eq_.now();
+  Time oldest = oldest_inflight_sent();
+  if (oldest < 0) {
+    try_send();  // nothing outstanding; flush any queued retransmissions
+    return;
+  }
+  // Full RTO keys on ACK *silence*, not packet age: the expiry scan keeps
+  // retransmitting (refreshing packet ages), so a truly dead path would
+  // otherwise never escalate to the CC/LB timeout reaction.
+  const Time last_heard = std::max(last_progress_, first_send_time_);
+  if (now - last_heard >= params_.effective_rto()) {
+    // Everything outstanding is presumed lost (selective-repeat recovery:
+    // any shard acked in the meantime is skipped when the queue drains).
+    for (std::uint64_t seq = 0; seq < frame_.total_packets(); ++seq) {
+      if (state_[seq] == PktState::kInflight) {
+        state_[seq] = PktState::kLost;
+        rtx_queue_.push_back(seq);
+      }
+    }
+    bytes_in_flight_ = 0;
+    send_order_.clear();
+    cc_->on_loss(now);
+    lb_->on_timeout(now);
+    try_send();
+    return;
+  }
+  if (now >= oldest + params_.effective_loss_expiry()) {
+    detect_losses();
+    try_send();
+    oldest = oldest_inflight_sent();
+  }
+  if (oldest >= 0) {
+    const Time next = std::max(oldest + params_.effective_loss_expiry(), now + 1);
+    rto_timer_.arm_at(std::min(next, last_heard + params_.effective_rto()));
+  }
+}
+
+void FlowSender::complete() {
+  done_ = true;
+  fct_ = eq_.now() - params_.start_time;
+  rto_timer_.cancel();
+  if (on_complete_) {
+    FlowResult r;
+    r.id = params_.id;
+    r.src = params_.src;
+    r.dst = params_.dst;
+    r.interdc = params_.interdc;
+    r.size_bytes = params_.size_bytes;
+    r.start_time = params_.start_time;
+    r.completion_time = fct_;
+    r.packets_sent = packets_sent_;
+    r.retransmits = retransmits_;
+    r.nacks = nacks_received_;
+    on_complete_(r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlowReceiver
+// ---------------------------------------------------------------------------
+
+FlowReceiver::FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths)
+    : eq_(eq),
+      params_(params),
+      paths_(paths),
+      name_("flow" + std::to_string(params.id) + ".rcv"),
+      frame_(params.size_bytes, params.mtu, params.ec_enabled, params.ec_data,
+             params.ec_parity),
+      block_timer_(eq, this, 1) {
+  received_.assign(frame_.total_packets(), false);
+  if (params_.verify_payload && frame_.ec_enabled())
+    verifier_ = std::make_unique<PayloadVerifier>(params_.id, frame_,
+                                                  params_.payload_shard_bytes);
+}
+
+void FlowReceiver::receive(Packet p) {
+  if (p.type != PacketType::kData) return;  // miswired route
+  if (p.trimmed) {
+    // Payload was discarded in-network; tell the sender which transmission
+    // died so it can retransmit without waiting for RACK/RTO.
+    last_entropy_ = p.entropy;
+    ++trims_seen_;
+    Packet nack = make_trim_nack_packet(p, &paths_->reverse[p.entropy]);
+    forward(std::move(nack));
+    return;
+  }
+  const std::uint64_t seq = p.seq;
+  assert(seq < frame_.total_packets());
+  last_entropy_ = p.entropy;
+
+  if (!received_[seq]) {
+    received_[seq] = true;
+    ++received_count_;
+    const std::uint32_t block = p.block_id;
+    frame_.mark(seq);
+    if (verifier_ && p.payload != nullptr)
+      verifier_->on_shard(block, p.shard, *p.payload);
+    if (frame_.ec_enabled()) {
+      if (frame_.block_complete(block)) {
+        block_deadline_.erase(block);
+      } else {
+        // (Re)start the reassembly timer: any arrival is progress, so the
+        // NACK deadline counts from the latest shard, not the first.
+        block_deadline_[block] = eq_.now() + params_.block_timeout;
+        arm_block_timer();
+      }
+    }
+  } else {
+    ++duplicates_;
+  }
+  send_ack(p);
+}
+
+void FlowReceiver::send_ack(const Packet& data) {
+  Packet ack = make_ack_packet(data, &paths_->reverse[data.entropy]);
+  forward(std::move(ack));
+}
+
+void FlowReceiver::send_nack(std::uint32_t block, std::uint16_t entropy) {
+  ++nacks_sent_;
+  Packet nack = make_nack_packet(params_.id, block, &paths_->reverse[entropy]);
+  nack.entropy = entropy;
+  forward(std::move(nack));
+}
+
+void FlowReceiver::arm_block_timer() {
+  Time earliest = kTimeInfinity;
+  for (const auto& [block, deadline] : block_deadline_) earliest = std::min(earliest, deadline);
+  if (earliest == kTimeInfinity) {
+    block_timer_.cancel();
+    return;
+  }
+  if (!block_timer_.armed() || block_timer_.deadline() > earliest)
+    block_timer_.arm_at(earliest);
+}
+
+void FlowReceiver::on_event(std::uint32_t) {
+  const Time now = eq_.now();
+  for (auto& [block, deadline] : block_deadline_) {
+    if (deadline > now) continue;
+    send_nack(block, last_entropy_);
+    // Re-NACK later if the retransmission round trip also fails.
+    deadline = now + params_.base_rtt + params_.block_timeout;
+  }
+  arm_block_timer();
+}
+
+// ---------------------------------------------------------------------------
+// Flow
+// ---------------------------------------------------------------------------
+
+Flow::Flow(EventQueue& eq, Host& src_host, Host& dst_host, const FlowParams& params,
+           const PathSet* paths, std::unique_ptr<CongestionControl> cc,
+           std::unique_ptr<LoadBalancer> lb, FlowSender::CompletionCallback on_complete)
+    : src_host_(src_host), dst_host_(dst_host), id_(params.id) {
+  receiver_ = std::make_unique<FlowReceiver>(eq, params, paths);
+  sender_ = std::make_unique<FlowSender>(eq, params, paths, std::move(cc), std::move(lb),
+                                         std::move(on_complete));
+  src_host_.register_flow(id_, sender_.get());
+  dst_host_.register_flow(id_, receiver_.get());
+}
+
+Flow::~Flow() {
+  src_host_.unregister_flow(id_);
+  dst_host_.unregister_flow(id_);
+}
+
+}  // namespace uno

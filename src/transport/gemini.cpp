@@ -1,0 +1,65 @@
+#include "transport/gemini.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+GeminiCc::GeminiCc(const CcParams& cc, const Params& params) : cc_(cc), p_(params) {
+  wan_threshold_ = p_.wan_delay_threshold > 0
+                       ? p_.wan_delay_threshold
+                       : std::max<Time>(cc_.intra_rtt / 2, cc_.base_rtt / 20);
+  // Modulated AI: a flow adds h per *own* RTT round; scaling h with
+  // RTT/intra_rtt keeps the per-second additive rate equal across RTTs.
+  h_bytes_ = p_.h_base_mtu * static_cast<double>(cc_.mtu) *
+             (static_cast<double>(cc_.base_rtt) / static_cast<double>(cc_.intra_rtt));
+  cwnd_ = cc_.initial_window(p_.initial_cwnd_bdp);
+}
+
+void GeminiCc::on_ack(const AckEvent& ack) {
+  if (!round_active_) {
+    round_active_ = true;
+    round_start_ = ack.now;
+    return;
+  }
+  ++round_acked_;
+  if (ack.ecn) ++round_marked_;
+  round_min_rtt_ = std::min(round_min_rtt_, ack.rtt);
+  // One decision per flow RTT: the round closes when a packet sent after
+  // the round opened is acknowledged.
+  if (ack.pkt_sent_time >= round_start_) end_round(ack.now);
+}
+
+void GeminiCc::end_round(Time now) {
+  ++rounds_;
+  const double frac = round_acked_ == 0 ? 0.0
+                                        : static_cast<double>(round_marked_) /
+                                              static_cast<double>(round_acked_);
+  ecn_ewma_ = (1.0 - p_.ecn_ewma_gain) * ecn_ewma_ + p_.ecn_ewma_gain * frac;
+
+  const bool dcn_congested = round_marked_ > 0;
+  const Time relative_delay =
+      round_min_rtt_ == kTimeInfinity ? 0 : round_min_rtt_ - cc_.base_rtt;
+  const bool wan_congested = relative_delay > wan_threshold_;
+
+  if (dcn_congested || wan_congested) {
+    // Combine both signals; the stronger reduction wins (Gemini couples the
+    // factors; taking the max preserves its behaviour for our scenarios).
+    const double f_dcn = dcn_congested ? ecn_ewma_ / 2.0 : 0.0;
+    const double f_wan = wan_congested ? p_.wan_beta : 0.0;
+    cwnd_ *= (1.0 - std::min(0.5, std::max(f_dcn, f_wan)));
+    cwnd_ = std::max(cwnd_, static_cast<double>(cc_.mtu));
+  } else {
+    cwnd_ += h_bytes_;
+  }
+
+  round_start_ = now;
+  round_acked_ = 0;
+  round_marked_ = 0;
+  round_min_rtt_ = kTimeInfinity;
+}
+
+void GeminiCc::on_loss(Time) {
+  cwnd_ = std::max(cwnd_ * 0.5, static_cast<double>(cc_.mtu));
+}
+
+}  // namespace uno

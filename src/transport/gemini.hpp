@@ -1,0 +1,58 @@
+// Gemini [Zeng et al., ICNP'19] — the paper's primary baseline.
+//
+// A window-based controller for cross-datacenter traffic that couples two
+// congestion signals: ECN for intra-DC bottlenecks (DCTCP-style EWMA of the
+// marked fraction) and RTT inflation for WAN bottlenecks. Decisions are
+// made once per *flow RTT* round — which is exactly why the paper finds its
+// fairness convergence slow: an inter-DC flow reacts 100x+ less often than
+// an intra-DC one (§2.1, Figure 3 B).
+//
+// The additive increase is modulated by the flow's RTT (h ∝ RTT/intra-RTT)
+// so that flows with different RTTs gain throughput at the same *per-second*
+// rate, Gemini's mechanism for cross-RTT bandwidth fairness.
+#pragma once
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class GeminiCc final : public CongestionControl {
+ public:
+  struct Params {
+    double ecn_ewma_gain = 1.0 / 16.0;
+    double wan_beta = 0.2;        // MD factor on WAN (delay) congestion
+    Time wan_delay_threshold = 0;  // 0 -> max(intra_rtt/2, base_rtt/20)
+    double h_base_mtu = 1.0;       // AI per intra-RTT-equivalent round, in MTUs
+    double initial_cwnd_bdp = 1.0;
+  };
+
+  GeminiCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  std::int64_t cwnd() const override { return static_cast<std::int64_t>(cwnd_); }
+  const char* name() const override { return "gemini"; }
+
+  double ecn_ewma() const { return ecn_ewma_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  void end_round(Time now);
+
+  CcParams cc_;
+  Params p_;
+  Time wan_threshold_;
+  double h_bytes_;  // modulated AI per round
+
+  double cwnd_;
+  double ecn_ewma_ = 0.0;
+
+  bool round_active_ = false;
+  Time round_start_ = 0;
+  std::uint64_t round_acked_ = 0;
+  std::uint64_t round_marked_ = 0;
+  Time round_min_rtt_ = kTimeInfinity;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,27 @@
+#include "transport/mprdma.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+MprdmaCc::MprdmaCc(const CcParams& cc) : MprdmaCc(cc, Params()) {}
+
+MprdmaCc::MprdmaCc(const CcParams& cc, const Params& params) : cc_(cc) {
+  cwnd_ = cc_.initial_window(params.initial_cwnd_bdp);
+}
+
+void MprdmaCc::on_ack(const AckEvent& ack) {
+  const double mtu = static_cast<double>(cc_.mtu);
+  if (ack.ecn) {
+    cwnd_ -= mtu / 2.0;
+  } else {
+    cwnd_ += mtu * mtu / cwnd_;
+  }
+  cwnd_ = std::max(cwnd_, mtu);
+}
+
+void MprdmaCc::on_loss(Time) {
+  cwnd_ = std::max(cwnd_ / 2.0, static_cast<double>(cc_.mtu));
+}
+
+}  // namespace uno

@@ -1,0 +1,33 @@
+// MPRDMA [Lu et al., NSDI'18] congestion control — the intra-DC half of the
+// paper's MPRDMA+BBR baseline.
+//
+// Per-ACK ECN-driven AIMD at packet granularity: an unmarked ACK grows the
+// window by one packet per RTT (cwnd += MTU²/cwnd), a marked ACK shrinks it
+// by half a packet. The multipath aspect of MP-RDMA is provided separately
+// by the load-balancer layer (packet spraying).
+#pragma once
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class MprdmaCc final : public CongestionControl {
+ public:
+  struct Params {
+    double initial_cwnd_bdp = 1.0;
+  };
+
+  explicit MprdmaCc(const CcParams& cc);
+  MprdmaCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  std::int64_t cwnd() const override { return static_cast<std::int64_t>(cwnd_); }
+  const char* name() const override { return "mprdma"; }
+
+ private:
+  CcParams cc_;
+  double cwnd_;
+};
+
+}  // namespace uno

@@ -1,0 +1,32 @@
+#include "transport/swift.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+SwiftCc::SwiftCc(const CcParams& cc) : SwiftCc(cc, Params()) {}
+
+SwiftCc::SwiftCc(const CcParams& cc, const Params& params) : cc_(cc), p_(params) {
+  target_ = p_.target_delay > 0 ? p_.target_delay : cc_.base_rtt + 25 * kMicrosecond;
+  cwnd_ = cc_.initial_window(p_.initial_cwnd_bdp);
+}
+
+void SwiftCc::on_ack(const AckEvent& ack) {
+  const double mtu = static_cast<double>(cc_.mtu);
+  if (ack.rtt <= target_) {
+    // Additive increase: ai MTUs per RTT, spread over the window's ACKs.
+    cwnd_ += p_.ai_mtu * mtu * static_cast<double>(ack.bytes_acked) / cwnd_;
+  } else if (last_decrease_ < 0 || ack.now - last_decrease_ >= cc_.base_rtt) {
+    const double overshoot = static_cast<double>(ack.rtt - target_) /
+                             static_cast<double>(ack.rtt);
+    cwnd_ *= 1.0 - std::min(p_.beta * overshoot, p_.max_mdf);
+    last_decrease_ = ack.now;
+  }
+  cwnd_ = std::max(cwnd_, mtu);
+}
+
+void SwiftCc::on_loss(Time) {
+  cwnd_ = std::max(cwnd_ * (1.0 - p_.max_mdf), static_cast<double>(cc_.mtu));
+}
+
+}  // namespace uno

@@ -1,0 +1,43 @@
+// Swift [Kumar et al., SIGCOMM'20] — an extra delay-based intra-DC baseline
+// (cited by the paper as representative of SOTA intra-DC CC that relies on
+// fast RTT feedback and therefore does not carry over to WAN distances).
+//
+// Simplified core loop: a target delay (base RTT + queuing budget); ACKs
+// under target grow the window additively (one MTU per RTT), ACKs over
+// target shrink it multiplicatively, proportionally to the overshoot and at
+// most once per RTT, clamped by a maximum decrease factor.
+#pragma once
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class SwiftCc final : public CongestionControl {
+ public:
+  struct Params {
+    Time target_delay = 0;     // 0 -> base_rtt + hop budget (25 us)
+    double ai_mtu = 1.0;       // additive increase per RTT, in MTUs
+    double beta = 0.8;         // multiplicative-decrease gain
+    double max_mdf = 0.5;      // max fractional decrease per RTT
+    double initial_cwnd_bdp = 1.0;
+  };
+
+  explicit SwiftCc(const CcParams& cc);
+  SwiftCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  std::int64_t cwnd() const override { return static_cast<std::int64_t>(cwnd_); }
+  const char* name() const override { return "swift"; }
+
+  Time target_delay() const { return target_; }
+
+ private:
+  CcParams cc_;
+  Params p_;
+  Time target_;
+  double cwnd_;
+  Time last_decrease_ = -1;
+};
+
+}  // namespace uno

@@ -1,0 +1,149 @@
+#include "transport/unocc.hpp"
+
+#include <algorithm>
+
+namespace uno {
+
+UnoCc::UnoCc(const CcParams& cc, const Params& params) : cc_(cc), p_(params) {
+  alpha_bytes_ = p_.alpha_fraction * static_cast<double>(cc_.bdp());
+  k_bytes_ = p_.k_fraction * static_cast<double>(cc_.intra_bdp());
+  epoch_period_ = p_.epoch_period > 0 ? p_.epoch_period : cc_.intra_rtt;
+  delay_threshold_ = p_.delay_threshold > 0 ? p_.delay_threshold : cc_.intra_rtt / 2;
+  cwnd_ = cc_.initial_window(p_.initial_cwnd_bdp);
+}
+
+double UnoCc::pacing_rate() const {
+  if (!p_.enable_pacing) return 0.0;
+  return cwnd_ * static_cast<double>(kSecond) / static_cast<double>(cc_.base_rtt);
+}
+
+void UnoCc::on_ack(const AckEvent& ack) {
+  // --- AI: applied per ACK when the packet was not marked (Alg. 1 ONACK) ---
+  if (!ack.ecn) {
+    cwnd_ += alpha_bytes_ * static_cast<double>(ack.bytes_acked) / cwnd_;
+  }
+
+  // --- epoch bookkeeping (Alg. 1 ONEPOCH clocking) -------------------------
+  if (!epoch_active_) {
+    // First ACK of the flow activates the epoch machinery.
+    epoch_active_ = true;
+    epoch_activation_ = ack.now;
+  } else {
+    ++epoch_acked_;
+    if (ack.ecn) ++epoch_marked_;
+    epoch_min_rtt_ = std::min(epoch_min_rtt_, ack.rtt);
+    if (ack.pkt_sent_time >= epoch_activation_) end_epoch(ack.now, ack.pkt_sent_time);
+  }
+
+  check_quick_adapt(ack);
+}
+
+void UnoCc::end_epoch(Time now, Time closing_sent_time) {
+  ++epochs_;
+  const double frac = epoch_acked_ == 0 ? 0.0
+                                        : static_cast<double>(epoch_marked_) /
+                                              static_cast<double>(epoch_acked_);
+  ecn_ewma_ = (1.0 - p_.ecn_ewma_gain) * ecn_ewma_ + p_.ecn_ewma_gain * frac;
+
+  if (epoch_marked_ > 0 && now >= skip_until_) {
+    // Congested epoch: decide between phantom-only ("delay == 0") and
+    // physical-queue congestion via the relative delay of this epoch's
+    // best RTT sample. Phantom-only congestion gets the gentle scale
+    // (Algorithm 1's "MD_scale x 0.3"); physical congestion the full MD.
+    // NOTE: we apply 0.3 as a one-step scale rather than compounding it
+    // across consecutive epochs — compounding drives MD to zero under
+    // sustained phantom congestion, which freezes every window, saturates
+    // the phantom queue, and pins marking at 100% (verified in the mixed
+    // incast: the system deadlocks at whatever windows it had).
+    const Time relative_delay =
+        epoch_min_rtt_ == kTimeInfinity ? 0 : epoch_min_rtt_ - cc_.base_rtt;
+    md_scale_ = relative_delay <= delay_threshold_ ? p_.md_scale_decay : 1.0;
+    const double md_ecn = ecn_ewma_ * 4.0 * k_bytes_ /
+                          (k_bytes_ + static_cast<double>(cc_.bdp()));
+    cwnd_ *= (1.0 - std::min(0.5, md_ecn * md_scale_));
+    cwnd_ = std::max(cwnd_, static_cast<double>(cc_.mtu));
+    ++md_events_;
+  }
+
+  // Re-activate: advance T_epoch by the (intra-RTT) epoch period. The
+  // activation time deliberately lags ACK arrival by ~one flow RTT — that is
+  // what makes epochs close every epoch_period in *wall time* for any RTT
+  // (the paper's unified granularity). Anchoring on the closing packet's
+  // send time keeps that lag stable across idle gaps.
+  (void)now;
+  epoch_activation_ = std::max(epoch_activation_, closing_sent_time) + epoch_period_;
+  epoch_acked_ = 0;
+  epoch_marked_ = 0;
+  epoch_min_rtt_ = kTimeInfinity;
+}
+
+void UnoCc::check_quick_adapt(const AckEvent& ack) {
+  if (!p_.enable_qa) return;
+  if (qa_window_end_ == 0) {
+    qa_window_end_ = ack.now + cc_.base_rtt;
+    qa_bytes_acked_ = ack.bytes_acked;
+    return;
+  }
+  qa_bytes_acked_ += ack.bytes_acked;
+  if (ack.now < qa_window_end_) return;
+
+  // QA targets *extreme* congestion of meaningful windows; at a few MTUs
+  // the per-window acked bytes are quantized (one packet per RTT can read
+  // as "under beta*cwnd") and QA would pin the flow at the floor.
+  const bool starved = cwnd_ > 4.0 * static_cast<double>(cc_.mtu) &&
+                       static_cast<double>(qa_bytes_acked_) < cwnd_ * p_.beta;
+  if (starved) {
+    ++qa_starved_streak_;
+    qa_last_starved_bytes_ = qa_bytes_acked_;
+  } else {
+    qa_starved_streak_ = 0;
+  }
+  if (qa_starved_streak_ >= p_.qa_consecutive_windows) {
+    // Very congested: collapse to the measured delivered bytes (Alg. 1 ONQA)
+    cwnd_ = std::max(static_cast<double>(qa_last_starved_bytes_),
+                     static_cast<double>(cc_.mtu));
+    ++qa_events_;
+    qa_starved_streak_ = 0;
+    // "Skip one RTT": after a collapse the old (larger) pipeline must drain
+    // and the new one refill before acked-bytes are meaningful again — that
+    // transient spans up to two RTTs, so the next *evaluation* closes one
+    // full RTT after it (three RTTs out). Measuring across the whole span
+    // only accumulates more bytes, so a spurious re-trigger cannot happen.
+    skip_until_ = ack.now + 2 * cc_.base_rtt;  // MD suppression window
+    qa_window_end_ = ack.now + 3 * cc_.base_rtt;
+  } else {
+    qa_window_end_ = ack.now + cc_.base_rtt;
+  }
+  qa_bytes_acked_ = 0;
+}
+
+void UnoCc::on_nack(Time now) {
+  // Algorithm 1 has no per-loss window reaction: losses are handled by
+  // UnoRC (parity + rerouting) while the *window* only responds to ECN and
+  // QA. The per-epoch MD already compounds to a substantial per-RTT
+  // reduction under sustained marking (e.g. (1-0.004)^143 ~ 0.56 per 2 ms
+  // RTT for an inter-DC flow), so reacting here would double-count.
+  (void)now;
+}
+
+void UnoCc::on_qcn(Time now) {
+  // Near-source early warning (Annulus add-on): a gentle multiplicative cut
+  // that arrives within microseconds instead of an end-to-end RTT. Rate
+  // limited to once per *flow RTT*: the win is the fast FIRST reaction; at
+  // epoch (14 us) cadence the cuts would compound 143x per WAN RTT and
+  // starve inter-DC flows outright.
+  if (last_qcn_ >= 0 && now - last_qcn_ < cc_.base_rtt) return;
+  last_qcn_ = now;
+  ++qcn_events_;
+  cwnd_ = std::max(cwnd_ * (1.0 - p_.qcn_md), static_cast<double>(cc_.mtu));
+}
+
+void UnoCc::on_loss(Time now) {
+  // RTO is outside Algorithm 1; treat it as the strongest congestion signal
+  // and fall back to one MTU, mirroring QA's collapse semantics.
+  (void)now;
+  cwnd_ = static_cast<double>(cc_.mtu);
+  md_scale_ = 1.0;
+}
+
+}  // namespace uno

@@ -1,0 +1,105 @@
+// UnoCC — the paper's congestion controller (§4.1, Algorithm 1).
+//
+// Window-based AIMD with three congestion regimes:
+//  * Uncongested  — per-ACK additive increase: cwnd += α·bytes_acked/cwnd,
+//    α = alpha_fraction × this flow's BDP, so cwnd grows by α per RTT.
+//  * Congested    — multiplicative decrease at most once per *epoch*, where
+//    the epoch period is the intra-DC RTT for *all* flows (the paper's key
+//    unification: inter-DC flows react at intra-DC granularity).
+//    MD factor = E · 4K/(K+BDP) · MD_scale, with E the EWMA of the
+//    per-epoch ECN fraction and K = intra-BDP/7. When relative delay is ~0
+//    (physical queues empty, only phantom queues marking), MD_scale decays
+//    by 0.3 per epoch — the "gentle reduction"; it resets to 1 on physical
+//    congestion or an unmarked epoch.
+//  * Extremely congested — Quick Adapt: once per RTT, if bytes acked in the
+//    window fall below β·cwnd, collapse cwnd to the bytes actually acked,
+//    then skip one RTT of QA/MD reactions.
+//
+// Epoch clocking follows the paper exactly: an epoch terminates when an ACK
+// arrives for a packet *sent at or after* the epoch activation time; the
+// activation time then advances by epoch_period.
+#pragma once
+
+#include "transport/cc.hpp"
+
+namespace uno {
+
+class UnoCc final : public CongestionControl {
+ public:
+  struct Params {
+    double alpha_fraction = 0.001;  // α as a fraction of flow BDP (Table 2)
+    double beta = 0.5;              // QA ratio (Table 2)
+    double k_fraction = 1.0 / 7.0;  // K as a fraction of intra-DC BDP (Table 2)
+    double md_scale_decay = 0.3;    // gentle-reduction factor (Algorithm 1)
+    double ecn_ewma_gain = 1.0 / 16.0;  // E update gain across epochs
+    Time epoch_period = 0;   // 0 -> the intra-DC RTT
+    Time delay_threshold = 0;  // relative delay below this ~ "delay == 0";
+                               // 0 -> intra_rtt/2
+    double initial_cwnd_bdp = 1.0;  // initial window as a multiple of BDP
+    bool enable_qa = true;
+    /// Consecutive starved windows before QA fires. One window of low acked
+    /// bytes can be oscillation jitter from *other* flows' MD cycles; a
+    /// genuine incast starves for as long as it lasts. 2 keeps the reaction
+    /// within two RTTs while immunizing QA against single-window blips.
+    int qa_consecutive_windows = 2;
+    bool enable_pacing = true;  // hardware pacing at cwnd/base_rtt (§6)
+    /// Annulus add-on: multiplicative decrease applied per near-source QCN
+    /// notification (rate-limited to once per epoch period).
+    double qcn_md = 0.125;
+  };
+
+  UnoCc(const CcParams& cc, const Params& params);
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(Time now) override;
+  void on_nack(Time now) override;
+  void on_qcn(Time now) override;
+  std::int64_t cwnd() const override { return static_cast<std::int64_t>(cwnd_); }
+  double pacing_rate() const override;
+  const char* name() const override { return "unocc"; }
+
+  // Observability for tests and rate traces.
+  double md_scale() const { return md_scale_; }
+  double ecn_ewma() const { return ecn_ewma_; }
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t qcn_events() const { return qcn_events_; }
+  std::uint64_t md_events() const { return md_events_; }
+  std::uint64_t qa_events() const { return qa_events_; }
+
+ private:
+  void end_epoch(Time now, Time closing_sent_time);
+  void check_quick_adapt(const AckEvent& ack);
+
+  CcParams cc_;
+  Params p_;
+  double alpha_bytes_;   // α in bytes
+  double k_bytes_;       // K in bytes
+  Time epoch_period_;
+  Time delay_threshold_;
+
+  double cwnd_;
+  double md_scale_ = 1.0;
+  double ecn_ewma_ = 0.0;
+
+  // Epoch state (paper's T_epoch mechanism).
+  bool epoch_active_ = false;
+  Time epoch_activation_ = 0;
+  std::uint64_t epoch_acked_ = 0;
+  std::uint64_t epoch_marked_ = 0;
+  Time epoch_min_rtt_ = kTimeInfinity;
+
+  // Quick Adapt state.
+  Time qa_window_end_ = 0;
+  std::int64_t qa_bytes_acked_ = 0;
+  std::int64_t qa_last_starved_bytes_ = 0;  // delivery measured in the streak
+  int qa_starved_streak_ = 0;
+  Time skip_until_ = 0;  // after QA fires, suppress QA/MD for one RTT
+
+  Time last_qcn_ = -1;
+  std::uint64_t qcn_events_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t md_events_ = 0;
+  std::uint64_t qa_events_ = 0;
+};
+
+}  // namespace uno

@@ -1,0 +1,55 @@
+#include "workload/allreduce.hpp"
+
+#include <cassert>
+
+namespace uno {
+
+AllreduceDriver::AllreduceDriver(EventQueue& eq, const Config& cfg, SpawnFn spawn)
+    : eq_(eq), cfg_(cfg), spawn_(std::move(spawn)) {
+  assert(cfg_.groups >= 1);
+  assert(cfg_.iterations >= 1);
+  assert(spawn_ != nullptr);
+}
+
+void AllreduceDriver::start() { start_iteration(); }
+
+void AllreduceDriver::on_event(std::uint32_t) { start_iteration(); }
+
+void AllreduceDriver::start_iteration() {
+  iteration_start_ = eq_.now();
+  const std::uint64_t chunk = cfg_.bytes_per_iteration / cfg_.groups;
+  // ReduceScatter then AllGather: two chunk transfers in each direction per
+  // group pair. We launch all four as concurrent flows; the iteration ends
+  // when the last one completes (the collective's synchronization point).
+  outstanding_flows_ = 0;
+  for (int g = 0; g < cfg_.groups; ++g) {
+    const int a = g % cfg_.hosts_per_dc;                 // host in DC 0
+    const int b = cfg_.hosts_per_dc + (g % cfg_.hosts_per_dc);  // host in DC 1
+    for (int phase = 0; phase < 2; ++phase) {  // RS and AG
+      for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+        FlowSpec spec{src, dst, std::max<std::uint64_t>(chunk, 1), eq_.now(), true};
+        ++outstanding_flows_;
+        spawn_(spec, [this](const FlowResult&) { on_flow_done(); });
+      }
+    }
+  }
+}
+
+void AllreduceDriver::on_flow_done() {
+  assert(outstanding_flows_ > 0);
+  if (--outstanding_flows_ > 0) return;
+  iteration_times_.push_back(eq_.now() - iteration_start_);
+  if (++current_iteration_ < cfg_.iterations) {
+    if (cfg_.compute_time > 0)
+      eq_.schedule_in(cfg_.compute_time, this);
+    else
+      start_iteration();
+  }
+}
+
+Time AllreduceDriver::ideal_iteration_time(Bandwidth cut_rate, Time inter_rtt) const {
+  const std::uint64_t bytes_each_way = 2 * cfg_.bytes_per_iteration;  // RS + AG
+  return serialization_time(static_cast<std::int64_t>(bytes_each_way), cut_rate) + inter_rtt;
+}
+
+}  // namespace uno

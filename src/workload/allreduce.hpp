@@ -1,0 +1,63 @@
+// Inter-DC data-parallel training traffic (§5.1 "AI training workload",
+// Fig. 13C).
+//
+// Models the gradient synchronization of a model replicated in both DCs:
+// each iteration, `groups` host pairs (one host per DC) exchange
+// ReduceScatter + AllGather traffic — 2 transfers of bytes/groups in each
+// direction — and the next iteration starts only when every transfer of the
+// current one has completed, plus a fixed compute time. The driver records
+// the communication time of every iteration so benches can report
+// measured/ideal ratios like the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "transport/flow.hpp"
+#include "workload/traffic.hpp"
+
+namespace uno {
+
+class AllreduceDriver final : public EventHandler {
+ public:
+  struct Config {
+    int groups = 8;                       // parallel allreduce rings
+    std::uint64_t bytes_per_iteration = 64ull << 20;  // gradient bytes
+    int iterations = 10;
+    Time compute_time = 0;                // gap between iterations
+    int hosts_per_dc = 128;
+  };
+
+  /// The harness materializes each FlowSpec and must invoke the callback
+  /// passed here when that flow completes.
+  using SpawnFn =
+      std::function<void(const FlowSpec&, std::function<void(const FlowResult&)>)>;
+
+  AllreduceDriver(EventQueue& eq, const Config& cfg, SpawnFn spawn);
+
+  void start();
+  void on_event(std::uint32_t tag) override;
+
+  bool finished() const { return static_cast<int>(iteration_times_.size()) == cfg_.iterations; }
+  /// Communication time of each completed iteration.
+  const std::vector<Time>& iteration_times() const { return iteration_times_; }
+  /// Lower bound per iteration: one chunk each way of RS+AG at full rate
+  /// over the inter-DC cut, plus one inter-DC RTT.
+  Time ideal_iteration_time(Bandwidth cut_rate, Time inter_rtt) const;
+
+ private:
+  void start_iteration();
+  void on_flow_done();
+
+  EventQueue& eq_;
+  Config cfg_;
+  SpawnFn spawn_;
+  int current_iteration_ = 0;
+  int outstanding_flows_ = 0;
+  Time iteration_start_ = 0;
+  std::vector<Time> iteration_times_;
+};
+
+}  // namespace uno

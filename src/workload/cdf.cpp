@@ -1,0 +1,97 @@
+#include "workload/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+
+namespace uno {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("CDF needs at least one point");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].prob < points_[i - 1].prob || points_[i].value < points_[i - 1].value)
+      throw std::invalid_argument("CDF points must be non-decreasing");
+  }
+  if (points_.back().prob != 1.0) throw std::invalid_argument("CDF must end at probability 1");
+  // Implicit origin: probability 0 at the first value.
+  if (points_.front().prob > 0.0)
+    points_.insert(points_.begin(), Point{points_.front().value, 0.0});
+}
+
+EmpiricalCdf EmpiricalCdf::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CDF file: " + path);
+  std::vector<Point> pts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    double v = 0, p = 0;
+    if (std::sscanf(line.c_str(), "%lf %lf", &v, &p) == 2) pts.push_back({v, p});
+  }
+  return EmpiricalCdf(std::move(pts));
+}
+
+double EmpiricalCdf::quantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  if (u <= points_.front().prob) return points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].prob) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      if (hi.prob == lo.prob) return hi.value;
+      const double t = (u - lo.prob) / (hi.prob - lo.prob);
+      return lo.value + t * (hi.value - lo.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double EmpiricalCdf::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& lo = points_[i - 1];
+    const Point& hi = points_[i];
+    m += (hi.prob - lo.prob) * 0.5 * (lo.value + hi.value);
+  }
+  return m;
+}
+
+EmpiricalCdf EmpiricalCdf::scaled(double factor) const {
+  std::vector<Point> pts = points_;
+  for (Point& p : pts) p.value = std::max(1.0, p.value * factor);
+  return EmpiricalCdf(std::move(pts));
+}
+
+// ---------------------------------------------------------------------------
+// Built-ins. Values in bytes. Piecewise-linear approximations of the
+// published distributions (see DESIGN.md §5 for the substitution rationale).
+// ---------------------------------------------------------------------------
+
+const EmpiricalCdf& EmpiricalCdf::websearch() {
+  static const EmpiricalCdf cdf(std::vector<Point>{
+      {6'000, 0.00},    {10'000, 0.15},   {20'000, 0.25},    {30'000, 0.35},
+      {50'000, 0.45},   {80'000, 0.53},   {200'000, 0.60},   {1'000'000, 0.70},
+      {2'000'000, 0.80}, {5'000'000, 0.90}, {10'000'000, 0.97}, {30'000'000, 1.00}});
+  return cdf;
+}
+
+const EmpiricalCdf& EmpiricalCdf::alibaba_wan() {
+  static const EmpiricalCdf cdf(std::vector<Point>{
+      {10'000, 0.00},      {50'000, 0.10},      {100'000, 0.20},
+      {500'000, 0.35},     {1'000'000, 0.45},   {5'000'000, 0.60},
+      {10'000'000, 0.70},  {50'000'000, 0.85},  {100'000'000, 0.95},
+      {300'000'000, 1.00}});
+  return cdf;
+}
+
+const EmpiricalCdf& EmpiricalCdf::google_rpc() {
+  static const EmpiricalCdf cdf(std::vector<Point>{
+      {64, 0.00},     {256, 0.30},   {512, 0.45},    {1'024, 0.60},
+      {2'048, 0.70},  {4'096, 0.80}, {8'192, 0.90},  {32'768, 0.97},
+      {65'536, 1.00}});
+  return cdf;
+}
+
+}  // namespace uno

@@ -1,0 +1,61 @@
+// Empirical flow-size distributions.
+//
+// The paper drives its realistic experiments with the Google web-search CDF
+// (DCTCP [9]) for intra-DC traffic, the Alibaba regional-WAN CDF
+// (FlashPass [65]) for inter-DC traffic, and the "Google RPC" CDF [53] for
+// the Fig. 4 background messages. The artifact ships those CDFs as files;
+// we embed piecewise-linear approximations with the same support and tail
+// shape (see DESIGN.md §5) and also accept external files in the same
+// two-column "<bytes> <cumulative-probability>" format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace uno {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double value = 0;  // bytes
+    double prob = 0;   // cumulative probability in [0, 1]
+  };
+
+  EmpiricalCdf() = default;
+  /// Points must be sorted by prob, ending at prob == 1.
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  /// Parse "<value> <cum-prob>" lines (blank lines and '#' comments allowed).
+  static EmpiricalCdf from_file(const std::string& path);
+
+  /// Inverse-transform sample with linear interpolation between points.
+  double sample(Rng& rng) const { return quantile(rng.uniform()); }
+  double quantile(double u) const;
+
+  /// Expected value of the piecewise-linear distribution.
+  double mean() const;
+  double min_value() const { return points_.front().value; }
+  double max_value() const { return points_.back().value; }
+
+  /// Return a copy with every value multiplied by `factor` (used to scale
+  /// message sizes down for time-bounded benchmark runs).
+  EmpiricalCdf scaled(double factor) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+  // --- built-in distributions -------------------------------------------------
+  /// Google web search (DCTCP) — heavy-tailed, ~6 KB .. 30 MB.
+  static const EmpiricalCdf& websearch();
+  /// Alibaba inter-DC regional WAN (FlashPass) — up to 300 MB.
+  static const EmpiricalCdf& alibaba_wan();
+  /// Google RPC — small messages, ~64 B .. 64 KB.
+  static const EmpiricalCdf& google_rpc();
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace uno

@@ -1,0 +1,75 @@
+// Workload generators: pure functions that produce flow arrival lists.
+//
+// Generators return `FlowSpec`s (who sends how much to whom, when); the
+// experiment harness materializes them into transport flows. Keeping them
+// pure makes the statistical properties directly unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "workload/cdf.hpp"
+
+namespace uno {
+
+struct FlowSpec {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t size_bytes = 0;
+  Time start_time = 0;
+  bool interdc = false;
+};
+
+/// Topology facts the generators need (decoupled from InterDcTopology so
+/// generators are testable standalone).
+struct HostSpace {
+  int hosts_per_dc = 128;
+  int num_dcs = 2;
+  int total() const { return hosts_per_dc * num_dcs; }
+  int dc_of(int h) const { return h / hosts_per_dc; }
+};
+
+/// N senders -> one receiver, all starting together (Figs 3 and 8).
+/// `intra_senders` come from the receiver's DC, `inter_senders` from the
+/// other one; senders are distinct hosts chosen deterministically.
+std::vector<FlowSpec> make_incast(const HostSpace& hosts, int receiver, int intra_senders,
+                                  int inter_senders, std::uint64_t flow_bytes,
+                                  Time start = 0);
+
+/// Random permutation: every host sends one flow to a distinct peer drawn
+/// from both DCs (Fig 9).
+std::vector<FlowSpec> make_permutation(const HostSpace& hosts, std::uint64_t flow_bytes,
+                                       std::uint64_t seed, Time start = 0);
+
+/// Poisson mixed workload (Figs 10-12): intra-DC flows sized from
+/// `intra_sizes`, inter-DC flows from `inter_sizes`, arrival rates scaled so
+/// the aggregate offered load equals `load` x (active_hosts x line_rate),
+/// split `dc_wan_ratio`:1 between intra and inter bytes (paper: 4:1).
+struct PoissonConfig {
+  double load = 0.4;
+  double dc_wan_ratio = 4.0;
+  Bandwidth host_rate = 100 * kGbps;
+  int active_hosts = 0;  // 0 -> all hosts participate
+  Time duration = 10 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+std::vector<FlowSpec> make_poisson_mixed(const HostSpace& hosts, const EmpiricalCdf& intra_sizes,
+                                         const EmpiricalCdf& inter_sizes,
+                                         const PoissonConfig& cfg);
+
+/// Load a flow list from a CSV file with lines "src,dst,bytes,start_us"
+/// ('#' comments allowed) — trace replay for externally generated or
+/// recorded workloads. `hosts` classifies each flow as intra/inter.
+std::vector<FlowSpec> load_flow_specs_csv(const std::string& path, const HostSpace& hosts);
+
+/// Poisson background of small intra-DC messages inside one DC (Fig 4's
+/// "Google RPC" traffic).
+std::vector<FlowSpec> make_rpc_background(const HostSpace& hosts, int dc,
+                                          const EmpiricalCdf& sizes, double load,
+                                          Bandwidth host_rate, int active_hosts, Time duration,
+                                          std::uint64_t seed);
+
+}  // namespace uno

@@ -1,0 +1,368 @@
+// Unit tests for the congestion controllers, driven by synthetic ACK
+// streams (no network involved).
+#include <gtest/gtest.h>
+
+#include "transport/bbr.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/gemini.hpp"
+#include "transport/mprdma.hpp"
+#include "transport/swift.hpp"
+#include "transport/unocc.hpp"
+
+namespace uno {
+namespace {
+
+CcParams intra_params() {
+  CcParams c;
+  c.base_rtt = 14 * kMicrosecond;
+  c.intra_rtt = 14 * kMicrosecond;
+  c.line_rate = 100 * kGbps;
+  c.mtu = 4096;
+  return c;
+}
+
+CcParams inter_params() {
+  CcParams c = intra_params();
+  c.base_rtt = 2 * kMillisecond;
+  return c;
+}
+
+AckEvent ack_at(Time now, Time rtt, bool ecn, Time sent, std::int64_t bytes = 4096) {
+  AckEvent e;
+  e.now = now;
+  e.bytes_acked = bytes;
+  e.ecn = ecn;
+  e.rtt = rtt;
+  e.pkt_sent_time = sent;
+  return e;
+}
+
+/// Feed a steady stream of ACKs spaced `gap` apart with constant RTT.
+template <typename Cc>
+void feed(Cc& cc, Time from, Time until, Time gap, Time rtt, double ecn_fraction,
+          std::uint64_t salt = 0) {
+  std::uint64_t i = salt;
+  for (Time t = from; t < until; t += gap, ++i) {
+    const bool ecn = ecn_fraction > 0 && (i % 100) < ecn_fraction * 100;
+    cc.on_ack(ack_at(t, rtt, ecn, t - rtt));
+  }
+}
+
+TEST(CcParams, BdpDerivation) {
+  EXPECT_EQ(intra_params().bdp(), 175'000);
+  EXPECT_EQ(inter_params().bdp(), 25'000'000);
+  EXPECT_EQ(inter_params().intra_bdp(), 175'000);
+}
+
+// --- UnoCC --------------------------------------------------------------
+
+TEST(UnoCc, InitialWindowIsBdp) {
+  UnoCc cc(intra_params(), {});
+  EXPECT_EQ(cc.cwnd(), 175'000);
+  UnoCc wan(inter_params(), {});
+  EXPECT_EQ(wan.cwnd(), 25'000'000);
+}
+
+TEST(UnoCc, AdditiveIncreaseIsAlphaPerRtt) {
+  CcParams p = intra_params();
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc cc(p, up);
+  const std::int64_t w0 = cc.cwnd();
+  // One RTT worth of unmarked ACKs: cwnd bytes acked in total.
+  const std::int64_t n = w0 / 4096;
+  for (std::int64_t i = 0; i < n; ++i) cc.on_ack(ack_at(i, p.base_rtt, false, 0));
+  const double alpha = 0.001 * static_cast<double>(p.bdp());
+  EXPECT_NEAR(static_cast<double>(cc.cwnd() - w0), alpha, alpha * 0.1);
+}
+
+TEST(UnoCc, MarkedAcksDoNotIncrease) {
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc cc(intra_params(), up);
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_ack(ack_at(0, 14 * kMicrosecond, true, 0));
+  cc.on_ack(ack_at(100, 14 * kMicrosecond, true, 0));
+  EXPECT_LE(cc.cwnd(), w0);
+}
+
+TEST(UnoCc, EpochGranularityIsIntraRttForWanFlows) {
+  // An inter-DC flow must close epochs roughly every intra RTT, not every
+  // 2 ms — the paper's core unification claim.
+  CcParams p = inter_params();
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc cc(p, up);
+  // 10 ms of steady ACKs, 1 us apart, sent one (inter) RTT earlier.
+  for (Time t = 0; t < 10 * kMillisecond; t += kMicrosecond)
+    cc.on_ack(ack_at(t, p.base_rtt, false, t - p.base_rtt));
+  // After the first RTT of warm-up, epochs close every ~14 us: expect on
+  // the order of (10ms - 2ms) / 14us ~ 570 epochs. Allow generous slack.
+  EXPECT_GT(cc.epochs(), 300u);
+  EXPECT_LT(cc.epochs(), 800u);
+}
+
+TEST(UnoCc, MdOncePerEpochWithEwmaFraction) {
+  CcParams p = intra_params();
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc cc(p, up);
+  const std::int64_t w0 = cc.cwnd();
+  // Everything marked, physical-delay congestion (rtt >> base).
+  feed(cc, 0, 20 * p.base_rtt, kMicrosecond, 2 * p.base_rtt, 1.0);
+  EXPECT_GT(cc.md_events(), 5u);
+  EXPECT_LT(cc.cwnd(), w0);
+  EXPECT_GT(cc.ecn_ewma(), 0.3);
+}
+
+TEST(UnoCc, GentleReductionWhenOnlyPhantomCongested) {
+  // delay == 0 (rtt ~ base_rtt) but ECN marked -> MD_scale decays by 0.3.
+  CcParams p = intra_params();
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc gentle(p, up);
+  UnoCc harsh(p, up);
+  feed(gentle, 0, 10 * p.base_rtt, kMicrosecond, p.base_rtt, 1.0);
+  feed(harsh, 0, 10 * p.base_rtt, kMicrosecond, 3 * p.base_rtt, 1.0);
+  EXPECT_GT(gentle.cwnd(), harsh.cwnd());
+  EXPECT_LT(gentle.md_scale(), 1.0);
+}
+
+TEST(UnoCc, QuickAdaptCollapsesWindow) {
+  CcParams p = intra_params();
+  UnoCc cc(p, {});
+  // Starve the window: only ~4 packets acked per RTT while cwnd is 175 KB.
+  for (int rtt = 0; rtt < 4; ++rtt)
+    for (int i = 0; i < 4; ++i)
+      cc.on_ack(ack_at(rtt * p.base_rtt + i * kMicrosecond, p.base_rtt, false, 0));
+  EXPECT_GT(cc.qa_events(), 0u);
+  EXPECT_LT(cc.cwnd(), 175'000 / 4);
+}
+
+TEST(UnoCc, QaSkipsOneRttAfterTriggering) {
+  CcParams p = intra_params();
+  UnoCc cc(p, {});
+  for (int rtt = 0; rtt < 3; ++rtt)
+    for (int i = 0; i < 2; ++i)
+      cc.on_ack(ack_at(rtt * p.base_rtt + i * kMicrosecond, p.base_rtt, false, 0));
+  // Three starved windows but at most every *other* one can trigger.
+  EXPECT_LE(cc.qa_events(), 2u);
+}
+
+TEST(UnoCc, InterFlowMdFactorIsTiny) {
+  // MD_ECN = E * 4K/(K + BDP): for inter flows this is ~0.004 per epoch, so
+  // a single congested epoch barely moves the window.
+  CcParams p = inter_params();
+  UnoCc::Params up;
+  up.enable_qa = false;
+  UnoCc cc(p, up);
+  const std::int64_t w0 = cc.cwnd();
+  // One congested epoch with full marking and physical delay.
+  cc.on_ack(ack_at(0, 3 * p.base_rtt, true, -1));              // activates epoch
+  cc.on_ack(ack_at(kMicrosecond, 3 * p.base_rtt, true, 100));  // closes epoch
+  const double drop = 1.0 - static_cast<double>(cc.cwnd()) / static_cast<double>(w0);
+  EXPECT_LT(drop, 0.01);
+}
+
+TEST(UnoCc, PacingTracksWindow) {
+  CcParams p = intra_params();
+  UnoCc cc(p, {});
+  const double rate = cc.pacing_rate();
+  // cwnd/base_rtt = 175000 B / 14 us = 12.5 GB/s = line rate.
+  EXPECT_NEAR(rate, 12.5e9, 1e8);
+}
+
+TEST(UnoCc, RtoCollapsesToOneMtu) {
+  UnoCc cc(intra_params(), {});
+  cc.on_loss(0);
+  EXPECT_EQ(cc.cwnd(), 4096);
+}
+
+TEST(UnoCc, NackLeavesWindowUntouched) {
+  // Algorithm 1 reacts to ECN and QA only; losses are UnoRC's job.
+  UnoCc cc(intra_params(), {});
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_nack(0);
+  EXPECT_EQ(cc.cwnd(), w0);
+}
+
+// --- Gemini ----------------------------------------------------------------
+
+TEST(Gemini, RoundsAreFlowRtt) {
+  CcParams p = inter_params();
+  GeminiCc cc(p, {});
+  // 20 ms of ACKs: rounds should close about every 2 ms (flow RTT), i.e. an
+  // order of magnitude fewer decisions than UnoCC makes (slow convergence).
+  for (Time t = 0; t < 20 * kMillisecond; t += 10 * kMicrosecond)
+    cc.on_ack(ack_at(t, p.base_rtt, false, t - p.base_rtt));
+  EXPECT_GE(cc.rounds(), 5u);
+  EXPECT_LE(cc.rounds(), 12u);
+}
+
+TEST(Gemini, EcnReducesLikeDctcp) {
+  CcParams p = intra_params();
+  GeminiCc cc(p, {});
+  const std::int64_t w0 = cc.cwnd();
+  feed(cc, 0, 40 * p.base_rtt, kMicrosecond, p.base_rtt, 1.0);
+  EXPECT_LT(cc.cwnd(), w0 / 2);
+  EXPECT_GT(cc.ecn_ewma(), 0.5);
+}
+
+TEST(Gemini, DelaySignalReducesWanFlows) {
+  CcParams p = inter_params();
+  GeminiCc cc(p, {});
+  const std::int64_t w0 = cc.cwnd();
+  // No ECN but heavy queueing delay -> WAN congestion branch.
+  feed(cc, 0, 10 * p.base_rtt, 50 * kMicrosecond, p.base_rtt + kMillisecond, 0.0);
+  EXPECT_LT(cc.cwnd(), w0);
+}
+
+TEST(Gemini, ModulatedIncreaseScalesWithRtt) {
+  GeminiCc intra(intra_params(), {});
+  GeminiCc inter(inter_params(), {});
+  const std::int64_t wi0 = intra.cwnd(), we0 = inter.cwnd();
+  // Run both for the same wall-clock duration, uncongested. The inter flow
+  // spends its first RTT (2 ms) warming up before rounds can close, so
+  // normalize growth by each flow's *active* round time.
+  const Time horizon = 20 * kMillisecond;
+  feed(intra, 0, horizon, kMicrosecond, intra_params().base_rtt, 0.0);
+  feed(inter, 0, horizon, kMicrosecond, inter_params().base_rtt, 0.0);
+  const double gi = static_cast<double>(intra.cwnd() - wi0) /
+                    to_seconds(horizon - intra_params().base_rtt);
+  const double ge = static_cast<double>(inter.cwnd() - we0) /
+                    to_seconds(horizon - inter_params().base_rtt);
+  // Equal per-second additive growth within 3x (round clocking differs).
+  EXPECT_GT(ge, gi / 3.0);
+  EXPECT_LT(ge, gi * 3.0);
+}
+
+// --- MPRDMA --------------------------------------------------------------
+
+TEST(Mprdma, PerAckAimd) {
+  CcParams p = intra_params();
+  MprdmaCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_ack(ack_at(0, p.base_rtt, true, 0));
+  EXPECT_EQ(cc.cwnd(), w0 - 2048);
+  MprdmaCc cc2(p);
+  cc2.on_ack(ack_at(0, p.base_rtt, false, 0));
+  EXPECT_GT(cc2.cwnd(), w0);
+}
+
+TEST(Mprdma, FloorsAtOneMtu) {
+  CcParams p = intra_params();
+  MprdmaCc cc(p);
+  for (int i = 0; i < 1000; ++i) cc.on_ack(ack_at(i, p.base_rtt, true, 0));
+  EXPECT_EQ(cc.cwnd(), 4096);
+}
+
+// --- DCTCP ----------------------------------------------------------------
+
+TEST(Dctcp, AlphaConvergesToMarkFraction) {
+  CcParams p = intra_params();
+  DctcpCc cc(p);
+  feed(cc, 0, 100 * p.base_rtt, kMicrosecond, p.base_rtt, 0.5);
+  EXPECT_NEAR(cc.alpha(), 0.5, 0.15);
+}
+
+TEST(Dctcp, UncongestedGrowsOneMtuPerRound) {
+  CcParams p = intra_params();
+  DctcpCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  feed(cc, 0, 10 * p.base_rtt, kMicrosecond, p.base_rtt, 0.0);
+  const std::int64_t growth = cc.cwnd() - w0;
+  EXPECT_GE(growth, 5 * 4096);
+  EXPECT_LE(growth, 12 * 4096);
+}
+
+// --- Swift ----------------------------------------------------------------
+
+TEST(Swift, GrowsUnderTargetDelay) {
+  CcParams p = intra_params();
+  SwiftCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  feed(cc, 0, 10 * p.base_rtt, kMicrosecond, p.base_rtt, 0.0);  // rtt == base < target
+  EXPECT_GT(cc.cwnd(), w0);
+}
+
+TEST(Swift, ShrinksProportionallyToOvershoot) {
+  CcParams p = intra_params();
+  SwiftCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  // Heavy delay: 4x target; at most one decrease per RTT, so three RTTs
+  // give at most (1 - max_mdf)^3 = 1/8.
+  feed(cc, 0, 3 * p.base_rtt + kMicrosecond, kMicrosecond, 4 * cc.target_delay(), 0.0);
+  EXPECT_LT(cc.cwnd(), w0 / 4);
+  EXPECT_GT(cc.cwnd(), 4096);
+}
+
+TEST(Swift, DecreaseAtMostOncePerRtt) {
+  CcParams p = intra_params();
+  SwiftCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  // Three over-target ACKs within one RTT: only one decrease may apply.
+  for (int i = 0; i < 3; ++i)
+    cc.on_ack(ack_at(i * kMicrosecond, 2 * cc.target_delay(), false, 0));
+  EXPECT_GE(cc.cwnd(), static_cast<std::int64_t>(w0 * 0.45));
+}
+
+TEST(Swift, IgnoresEcn) {
+  // Swift is delay-based: a marked ACK under target still grows the window.
+  CcParams p = intra_params();
+  SwiftCc cc(p);
+  const std::int64_t w0 = cc.cwnd();
+  cc.on_ack(ack_at(0, p.base_rtt, /*ecn=*/true, 0));
+  EXPECT_GT(cc.cwnd(), w0);
+}
+
+// --- BBR --------------------------------------------------------------------
+
+TEST(Bbr, StartsInStartupWithHighGain) {
+  BbrCc cc(inter_params());
+  EXPECT_EQ(cc.state(), BbrCc::State::kStartup);
+  EXPECT_GT(cc.pacing_rate(), 0.0);
+}
+
+TEST(Bbr, LearnsBandwidthAndRtprop) {
+  CcParams p = inter_params();
+  BbrCc cc(p);
+  // Deliver 4096 B every 3.3 us ~ 10 Gbps for a while.
+  Time t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 3300 * kNanosecond;
+    cc.on_ack(ack_at(t, p.base_rtt, false, t - p.base_rtt));
+  }
+  EXPECT_EQ(cc.rtprop(), p.base_rtt);
+  // ~1.24 GB/s delivery rate; the max filter should be within 2x.
+  EXPECT_GT(cc.btlbw(), 0.6e9);
+  EXPECT_LT(cc.btlbw(), 2.5e9);
+  EXPECT_EQ(cc.state(), BbrCc::State::kProbeBw);
+}
+
+TEST(Bbr, CwndIsTwoBdp) {
+  CcParams p = inter_params();
+  BbrCc cc(p);
+  Time t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 3300 * kNanosecond;
+    cc.on_ack(ack_at(t, p.base_rtt, false, t - p.base_rtt));
+  }
+  const double bdp = cc.btlbw() * to_seconds(cc.rtprop());
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), 2.0 * bdp, 0.2 * bdp);
+}
+
+TEST(Bbr, RtoRestartsModel) {
+  CcParams p = inter_params();
+  BbrCc cc(p);
+  Time t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 3300 * kNanosecond;
+    cc.on_ack(ack_at(t, p.base_rtt, false, t - p.base_rtt));
+  }
+  cc.on_loss(t);
+  EXPECT_EQ(cc.state(), BbrCc::State::kStartup);
+  EXPECT_EQ(cc.btlbw(), 0.0);
+}
+
+}  // namespace
+}  // namespace uno

@@ -1,0 +1,140 @@
+// Core module tests: Table-2 config derivations, the scheme catalogue, and
+// experiment wiring (queue marking per scheme, flow parameter derivation).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "transport/bbr.hpp"
+#include "transport/swift.hpp"
+#include "transport/gemini.hpp"
+#include "transport/mprdma.hpp"
+#include "transport/unocc.hpp"
+
+namespace uno {
+namespace {
+
+TEST(Config, Table2Defaults) {
+  UnoConfig c;
+  EXPECT_DOUBLE_EQ(c.alpha_fraction, 0.001);
+  EXPECT_DOUBLE_EQ(c.beta, 0.5);
+  EXPECT_NEAR(c.k_fraction, 1.0 / 7.0, 1e-12);
+  EXPECT_EQ(c.intra_rtt, 14 * kMicrosecond);
+  EXPECT_EQ(c.inter_rtt, 2 * kMillisecond);
+  EXPECT_DOUBLE_EQ(c.phantom_drain_fraction, 0.9);
+  EXPECT_EQ(c.mtu, 4096);
+  EXPECT_EQ(c.ec_data, 8);
+  EXPECT_EQ(c.ec_parity, 2);
+  EXPECT_EQ(c.intra_bdp(), 175'000);
+  EXPECT_EQ(c.inter_bdp(), 25'000'000);
+  EXPECT_EQ(c.subflows(), 10);
+}
+
+TEST(Scheme, CatalogueShapes) {
+  const SchemeSpec uno = SchemeSpec::uno();
+  EXPECT_TRUE(uno.ec_inter);
+  EXPECT_TRUE(uno.phantom_marking);
+  EXPECT_EQ(uno.lb_inter, LbKind::kUnoLb);
+
+  const SchemeSpec ecmp = SchemeSpec::uno_ecmp();
+  EXPECT_FALSE(ecmp.ec_inter);
+  EXPECT_EQ(ecmp.lb_inter, LbKind::kEcmp);
+  EXPECT_TRUE(ecmp.phantom_marking);  // still UnoCC
+
+  const SchemeSpec mb = SchemeSpec::mprdma_bbr();
+  EXPECT_EQ(mb.cc_intra, CcKind::kMprdma);
+  EXPECT_EQ(mb.cc_inter, CcKind::kBbr);
+  EXPECT_EQ(mb.lb_intra, LbKind::kRps);
+  EXPECT_FALSE(mb.phantom_marking);
+
+  const SchemeSpec spray = SchemeSpec::gemini().with_spray();
+  EXPECT_EQ(spray.lb_intra, LbKind::kRps);
+  EXPECT_EQ(spray.cc_intra, CcKind::kGemini);
+}
+
+TEST(Scheme, FactoryInstantiatesRightTypes) {
+  UnoConfig cfg;
+  CcParams p;
+  EXPECT_NE(dynamic_cast<UnoCc*>(make_cc(CcKind::kUno, p, cfg).get()), nullptr);
+  EXPECT_NE(dynamic_cast<GeminiCc*>(make_cc(CcKind::kGemini, p, cfg).get()), nullptr);
+  EXPECT_NE(dynamic_cast<MprdmaCc*>(make_cc(CcKind::kMprdma, p, cfg).get()), nullptr);
+  EXPECT_NE(dynamic_cast<BbrCc*>(make_cc(CcKind::kBbr, p, cfg).get()), nullptr);
+
+  auto ecmp = make_lb(LbKind::kEcmp, 1, 8, kMicrosecond, cfg, 1);
+  EXPECT_STREQ(ecmp->name(), "ecmp");
+  auto unolb = make_lb(LbKind::kUnoLb, 1, 32, kMicrosecond, cfg, 1);
+  EXPECT_STREQ(unolb->name(), "unolb");
+  EXPECT_EQ(dynamic_cast<UnoLb*>(unolb.get())->num_subflows(), 10);
+  auto reps = make_lb(LbKind::kReps, 1, 32, kMicrosecond, cfg, 1);
+  EXPECT_STREQ(reps->name(), "reps");
+  EXPECT_NE(dynamic_cast<SwiftCc*>(make_cc(CcKind::kSwift, p, cfg).get()), nullptr);
+}
+
+TEST(Experiment, PhantomOnlyForPhantomSchemes) {
+  const UnoConfig u;
+  const auto base = Experiment::make_topo_config(u, SchemeSpec::gemini(), 4, 1);
+  EXPECT_FALSE(base.queue.phantom.enabled);
+  EXPECT_TRUE(base.queue.red.enabled);
+  EXPECT_EQ(base.queue.red.min_bytes, (1 << 20) / 4);
+  EXPECT_EQ(base.queue.red.max_bytes, 3 * (1 << 20) / 4);
+
+  const auto uno = Experiment::make_topo_config(u, SchemeSpec::uno(), 4, 1);
+  EXPECT_TRUE(uno.queue.phantom.enabled);
+  EXPECT_DOUBLE_EQ(uno.queue.phantom.drain_fraction, 0.9);
+  // Intra phantom thresholds sized to intra BDP (15%..100% band), border to
+  // inter BDP; virtual occupancy capped at the virtual capacity.
+  EXPECT_EQ(uno.queue.phantom.red.min_bytes, 26'250);
+  EXPECT_EQ(uno.queue.phantom.red.max_bytes, 175'000);
+  EXPECT_EQ(uno.queue.phantom.effective_cap(), 175'000);
+  EXPECT_GT(uno.border_queue.phantom.red.min_bytes, 900'000);
+  // NIC is deep in both cases.
+  EXPECT_GT(base.nic_queue.capacity_bytes, 100ll << 20);
+}
+
+TEST(Experiment, FlowParamsDeriveFromSpec) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  cfg.scheme = SchemeSpec::uno();
+  Experiment ex(cfg);
+  const FlowParams intra = ex.flow_params({0, 5, 1000, 7, false});
+  EXPECT_FALSE(intra.ec_enabled);  // EC is inter-only
+  EXPECT_EQ(intra.base_rtt, 14 * kMicrosecond);
+  EXPECT_EQ(intra.start_time, 7);
+  const FlowParams inter = ex.flow_params({0, 20, 1000, 0, true});
+  EXPECT_TRUE(inter.ec_enabled);
+  EXPECT_EQ(inter.base_rtt, 2 * kMillisecond);
+  EXPECT_EQ(ex.cc_params({0, 20, 1000, 0, true}).intra_rtt, 14 * kMicrosecond);
+}
+
+TEST(Experiment, EcDisabledForNonEcScheme) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  cfg.scheme = SchemeSpec::uno_ecmp();
+  Experiment ex(cfg);
+  EXPECT_FALSE(ex.flow_params({0, 20, 1000, 0, true}).ec_enabled);
+}
+
+TEST(Experiment, RunToCompletionCollectsFcts) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  cfg.scheme = SchemeSpec::dctcp();
+  Experiment ex(cfg);
+  bool extra_called = false;
+  ex.spawn({0, 12, 64 << 10, 0, false},
+           [&](const FlowResult& r) { extra_called = r.completion_time > 0; });
+  ex.spawn({1, 13, 64 << 10, 0, false});
+  ASSERT_TRUE(ex.run_to_completion(100 * kMillisecond));
+  EXPECT_TRUE(extra_called);
+  EXPECT_EQ(ex.fct().count(), 2u);
+  const auto s = ex.fct().summarize();
+  EXPECT_GT(s.mean_slowdown, 0.9);
+}
+
+TEST(Experiment, DeadlineReturnsFalseWhenUnfinished) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  ex.spawn({0, 16 + 4, 100 << 20, 0, true});  // 100 MiB cannot finish in 1 ms
+  EXPECT_FALSE(ex.run_to_completion(kMillisecond));
+}
+
+}  // namespace
+}  // namespace uno

@@ -1,0 +1,227 @@
+// GF(256), Reed–Solomon MDS property tests, and block framing tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fec/block.hpp"
+#include "fec/gf256.hpp"
+#include "fec/rs.hpp"
+#include "sim/rng.hpp"
+
+namespace uno {
+namespace {
+
+TEST(Gf256, FieldAxiomsSampled) {
+  // Exhaustive over a*b for a,b in [1,255]: inverse and division consistency.
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(ua, gf256::inv(ua)), 1) << a;
+    EXPECT_EQ(gf256::mul(ua, 1), ua);
+    EXPECT_EQ(gf256::mul(ua, 0), 0);
+  }
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_below(256));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(a, gf256::mul(b, c)), gf256::mul(gf256::mul(a, b), c));
+    // Distributivity over XOR.
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+    if (b != 0) {
+      EXPECT_EQ(gf256::mul(gf256::div(a, b), b), a);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 7) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(gf256::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, MulAddAccumulates) {
+  std::vector<std::uint8_t> dst(64, 0), src(64);
+  std::iota(src.begin(), src.end(), 1);
+  gf256::mul_add(dst.data(), src.data(), 3, src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], gf256::mul(src[i], 3));
+  gf256::mul_add(dst.data(), src.data(), 3, src.size());  // adding twice cancels
+  for (std::uint8_t v : dst) EXPECT_EQ(v, 0);
+}
+
+std::vector<std::vector<std::uint8_t>> random_shards(int k, int n, std::size_t len, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> shards(n);
+  for (int i = 0; i < k; ++i) {
+    shards[i].resize(len);
+    for (auto& b : shards[i]) b = static_cast<std::uint8_t>(rng.uniform_below(256));
+  }
+  return shards;
+}
+
+/// Every erasure pattern of up to `parity` losses must reconstruct exactly.
+/// Parameterized over the code geometry; (8,2) is the paper's default.
+class RsMdsTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RsMdsTest, AllErasurePatternsRecoverable) {
+  const auto [k, m] = GetParam();
+  const int n = k + m;
+  ReedSolomon rs(k, m);
+  Rng rng(77);
+  auto shards = random_shards(k, n, 128, rng);
+  rs.encode(shards);
+  const auto original = shards;
+
+  // Enumerate every subset of <= m erased shards (data or parity).
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) > m) continue;
+    auto work = original;
+    std::vector<bool> present(n, true);
+    for (int i = 0; i < n; ++i)
+      if (mask & (1u << i)) {
+        work[i].clear();
+        present[i] = false;
+      }
+    ASSERT_TRUE(rs.reconstruct(work, present)) << "mask=" << mask;
+    for (int i = 0; i < n; ++i) EXPECT_EQ(work[i], original[i]) << "shard " << i;
+  }
+}
+
+TEST_P(RsMdsTest, TooManyErasuresRejected) {
+  const auto [k, m] = GetParam();
+  const int n = k + m;
+  ReedSolomon rs(k, m);
+  Rng rng(78);
+  auto shards = random_shards(k, n, 32, rng);
+  rs.encode(shards);
+  std::vector<bool> present(n, true);
+  for (int i = 0; i <= m; ++i) present[i] = false;  // m+1 losses
+  EXPECT_FALSE(rs.reconstruct(shards, present));
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeGeometries, RsMdsTest,
+                         ::testing::Values(std::pair{8, 2},  // the paper's (8,2)
+                                           std::pair{4, 2}, std::pair{8, 4},
+                                           std::pair{10, 3}, std::pair{2, 1},
+                                           std::pair{6, 0}));
+
+TEST(ReedSolomon, SystematicDataUnchanged) {
+  ReedSolomon rs(8, 2);
+  Rng rng(5);
+  auto shards = random_shards(8, 10, 256, rng);
+  const auto data_copy =
+      std::vector<std::vector<std::uint8_t>>(shards.begin(), shards.begin() + 8);
+  rs.encode(shards);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(shards[i], data_copy[i]);
+}
+
+TEST(ReedSolomon, ParityIsDeterministic) {
+  ReedSolomon rs(8, 2);
+  Rng rng(6);
+  auto shards = random_shards(8, 10, 64, rng);
+  auto copy = shards;
+  rs.encode(shards);
+  rs.encode(copy);
+  EXPECT_EQ(shards[8], copy[8]);
+  EXPECT_EQ(shards[9], copy[9]);
+}
+
+TEST(ReedSolomon, DecodableHelper) {
+  EXPECT_TRUE(ReedSolomon::decodable({true, true, false}, 2));
+  EXPECT_FALSE(ReedSolomon::decodable({true, false, false}, 2));
+}
+
+TEST(GfMatrix, InvertIdentity) {
+  std::vector<std::vector<std::uint8_t>> m = {{1, 0}, {0, 1}};
+  ASSERT_TRUE(gf_invert_matrix(m));
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[1][1], 1);
+  EXPECT_EQ(m[0][1], 0);
+}
+
+TEST(GfMatrix, SingularRejected) {
+  std::vector<std::vector<std::uint8_t>> m = {{1, 1}, {1, 1}};
+  EXPECT_FALSE(gf_invert_matrix(m));
+}
+
+// --- BlockFrame -------------------------------------------------------------
+
+TEST(BlockFrame, NonEcDegeneratesToSegmentation) {
+  BlockFrame f(100'000, 4096, /*ec=*/false, 8, 2);
+  EXPECT_EQ(f.data_packets(), 25u);  // ceil(100000/4096)
+  EXPECT_EQ(f.total_packets(), 25u);
+  EXPECT_FALSE(f.ec_enabled());
+  // Last packet is the remainder.
+  EXPECT_EQ(f.shard_of(24).size, 100'000u - 24 * 4096u);
+  for (std::uint64_t s = 0; s < 24; ++s) EXPECT_EQ(f.shard_of(s).size, 4096u);
+}
+
+TEST(BlockFrame, EcAddsParityPerBlock) {
+  BlockFrame f(16 * 4096, 4096, /*ec=*/true, 8, 2);
+  EXPECT_EQ(f.data_packets(), 16u);
+  EXPECT_EQ(f.num_blocks(), 2u);
+  EXPECT_EQ(f.total_packets(), 20u);  // 16 data + 2x2 parity
+  EXPECT_FALSE(f.shard_of(7).parity);
+  EXPECT_TRUE(f.shard_of(8).parity);
+  EXPECT_TRUE(f.shard_of(9).parity);
+  EXPECT_EQ(f.shard_of(10).block, 1u);
+  EXPECT_FALSE(f.shard_of(10).parity);
+}
+
+TEST(BlockFrame, ShortLastBlock) {
+  // 11 data packets -> blocks of 8 and 3 (+2 parity each).
+  BlockFrame f(11 * 4096, 4096, true, 8, 2);
+  EXPECT_EQ(f.num_blocks(), 2u);
+  EXPECT_EQ(f.total_packets(), 11u + 4u);
+  EXPECT_EQ(f.data_shards_in_block(0), 8);
+  EXPECT_EQ(f.data_shards_in_block(1), 3);
+  EXPECT_EQ(f.shards_in_block(1), 5);
+  // Seqs 10,11,12 are block 1 data; 13,14 parity.
+  EXPECT_FALSE(f.shard_of(12).parity);
+  EXPECT_TRUE(f.shard_of(13).parity);
+  EXPECT_TRUE(f.shard_of(14).parity);
+}
+
+TEST(BlockFrame, BlockCompleteWithAnyDataShardsWorth) {
+  BlockFrame f(8 * 4096, 4096, true, 8, 2);
+  // Mark 7 data + 1 parity -> 8 distinct shards -> decodable.
+  for (std::uint64_t s = 0; s < 7; ++s) f.mark(s);
+  EXPECT_FALSE(f.block_complete(0));
+  f.mark(8);  // parity shard
+  EXPECT_TRUE(f.block_complete(0));
+  EXPECT_TRUE(f.complete());
+}
+
+TEST(BlockFrame, MarkIsIdempotent) {
+  BlockFrame f(8 * 4096, 4096, true, 8, 2);
+  EXPECT_TRUE(f.mark(0));
+  EXPECT_FALSE(f.mark(0));
+  EXPECT_EQ(f.marked_in_block(0), 1);
+}
+
+TEST(BlockFrame, CompletionRequiresEveryBlock) {
+  BlockFrame f(16 * 4096, 4096, true, 8, 2);
+  for (std::uint64_t s = 0; s < 8; ++s) f.mark(s);
+  EXPECT_TRUE(f.block_complete(0));
+  EXPECT_FALSE(f.complete());
+  for (std::uint64_t s = 10; s < 18; ++s) f.mark(s);
+  EXPECT_TRUE(f.complete());
+}
+
+TEST(BlockFrame, TinyMessage) {
+  BlockFrame f(100, 4096, true, 8, 2);
+  EXPECT_EQ(f.data_packets(), 1u);
+  EXPECT_EQ(f.num_blocks(), 1u);
+  EXPECT_EQ(f.total_packets(), 3u);  // 1 data + 2 parity
+  EXPECT_EQ(f.shard_of(0).size, 100u);
+  EXPECT_EQ(f.data_shards_in_block(0), 1);
+  f.mark(1);  // a parity shard alone completes a 1-data block
+  EXPECT_TRUE(f.complete());
+}
+
+}  // namespace
+}  // namespace uno

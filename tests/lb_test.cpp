@@ -1,0 +1,175 @@
+// Load-balancer strategy tests: ECMP pinning, RPS spread, PLB repathing,
+// UnoLB subflow rotation and adaptive rerouting (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lb/loadbalancer.hpp"
+
+namespace uno {
+namespace {
+
+TEST(Ecmp, PinsOnePathPerFlow) {
+  EcmpLb lb(42, 16);
+  const std::uint16_t p = lb.pick(0);
+  for (int i = 1; i < 100; ++i) EXPECT_EQ(lb.pick(i), p);
+  EXPECT_LT(p, 16);
+}
+
+TEST(Ecmp, DifferentFlowsSpreadOverPaths) {
+  std::set<std::uint16_t> paths;
+  for (std::uint64_t f = 0; f < 64; ++f) paths.insert(EcmpLb(f, 16).pick(0));
+  EXPECT_GT(paths.size(), 8u);  // hash should hit most of 16 paths
+}
+
+TEST(Rps, SpraysUniformly) {
+  RpsLb lb(8, Rng(3));
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[lb.pick(i)];
+  for (int h : hits) EXPECT_NEAR(h, 1000, 150);
+}
+
+PlbLb::Params plb_params() {
+  PlbLb::Params p;
+  p.round_duration = 14 * kMicrosecond;
+  return p;
+}
+
+TEST(Plb, StaysOnPathWhenUncongested) {
+  PlbLb lb(plb_params(), 7, 16, Rng(1));
+  const std::uint16_t p0 = lb.current_path();
+  for (Time t = 0; t < kMillisecond; t += kMicrosecond) lb.on_ack(p0, false, t);
+  EXPECT_EQ(lb.current_path(), p0);
+  EXPECT_EQ(lb.repaths(), 0u);
+}
+
+TEST(Plb, RepathsAfterConsecutiveCongestedRounds) {
+  PlbLb lb(plb_params(), 7, 16, Rng(1));
+  const std::uint16_t p0 = lb.current_path();
+  for (Time t = 0; t < kMillisecond && lb.repaths() == 0; t += kMicrosecond)
+    lb.on_ack(p0, /*ecn=*/true, t);
+  EXPECT_GE(lb.repaths(), 1u);
+  EXPECT_NE(lb.current_path(), p0);
+}
+
+TEST(Plb, RepathsImmediatelyOnTimeout) {
+  PlbLb lb(plb_params(), 7, 16, Rng(1));
+  const std::uint16_t p0 = lb.current_path();
+  lb.on_timeout(0);
+  EXPECT_NE(lb.current_path(), p0);
+}
+
+TEST(Plb, SinglePathCannotRepath) {
+  PlbLb lb(plb_params(), 7, 1, Rng(1));
+  lb.on_timeout(0);
+  EXPECT_EQ(lb.current_path(), 0);
+}
+
+TEST(Reps, FreshSpraysUntilAcksArrive) {
+  RepsLb lb(16, Rng(3));
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(lb.pick(i));
+  EXPECT_GT(seen.size(), 8u);  // spraying while nothing is proven yet
+  EXPECT_EQ(lb.recycled_picks(), 0u);
+}
+
+TEST(Reps, RecyclesCleanEntropiesLifo) {
+  RepsLb lb(16, Rng(3));
+  lb.on_ack(5, false, 0);
+  lb.on_ack(9, false, 0);
+  EXPECT_EQ(lb.cached(), 2u);
+  EXPECT_EQ(lb.pick(0), 9);  // most recent proof first
+  EXPECT_EQ(lb.pick(1), 5);
+  EXPECT_EQ(lb.recycled_picks(), 2u);
+}
+
+TEST(Reps, MarkedAcksAreNotRecycled) {
+  RepsLb lb(16, Rng(3));
+  lb.on_ack(5, /*ecn=*/true, 0);
+  EXPECT_EQ(lb.cached(), 0u);
+}
+
+TEST(Reps, CacheBounded) {
+  RepsLb lb(16, Rng(3), /*cache_limit=*/4);
+  for (int i = 0; i < 10; ++i) lb.on_ack(static_cast<std::uint16_t>(i), false, 0);
+  EXPECT_EQ(lb.cached(), 4u);
+}
+
+UnoLb::Params unolb_params(int subflows = 4) {
+  UnoLb::Params p;
+  p.num_subflows = subflows;
+  p.base_rtt = 100 * kMicrosecond;
+  return p;
+}
+
+TEST(UnoLbTest, RoundRobinOverSubflows) {
+  UnoLb lb(unolb_params(4), 16, Rng(5));
+  // Initial assignment is path ids 0..3, cycled.
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(lb.pick(i), i % 4);
+}
+
+TEST(UnoLbTest, SubflowsClampedToPathCount) {
+  UnoLb lb(unolb_params(10), 3, Rng(5));
+  EXPECT_EQ(lb.num_subflows(), 3);
+}
+
+TEST(UnoLbTest, NackReroutesTheBadSubflow) {
+  UnoLb lb(unolb_params(4), 16, Rng(5));
+  const Time now = kMillisecond;
+  // Paths 8 and 9 have seen recent ACKs; path 1 is NACKed.
+  lb.on_ack(8, false, now - 10 * kMicrosecond);
+  lb.on_ack(9, false, now - 10 * kMicrosecond);
+  lb.on_nack(1, now);
+  EXPECT_EQ(lb.reroutes(), 1u);
+  // Subflow slot 1 moved off path 1 to a recently-acked path.
+  std::set<std::uint16_t> entropies;
+  for (int i = 0; i < lb.num_subflows(); ++i) entropies.insert(lb.subflow_entropy(i));
+  EXPECT_EQ(entropies.count(1), 0u);
+  EXPECT_TRUE(entropies.count(8) == 1 || entropies.count(9) == 1);
+}
+
+TEST(UnoLbTest, RerouteRateLimitedToOncePerRtt) {
+  UnoLb lb(unolb_params(4), 16, Rng(5));
+  const Time now = kMillisecond;
+  lb.on_ack(8, false, now - kMicrosecond);
+  lb.on_ack(9, false, now - kMicrosecond);
+  lb.on_nack(0, now);
+  lb.on_nack(1, now + kMicrosecond);  // within base_rtt of the first
+  EXPECT_EQ(lb.reroutes(), 1u);       // Algorithm 2 line 6
+  lb.on_nack(1, now + 200 * kMicrosecond);
+  EXPECT_EQ(lb.reroutes(), 2u);
+}
+
+TEST(UnoLbTest, TimeoutEvictsStalestSubflow) {
+  UnoLb lb(unolb_params(4), 16, Rng(5));
+  const Time now = 10 * kMillisecond;
+  // Paths 0,2,3 have recent ACKs; path 1 never ACKed -> stalest.
+  lb.on_ack(0, false, now - kMicrosecond);
+  lb.on_ack(2, false, now - kMicrosecond);
+  lb.on_ack(3, false, now - kMicrosecond);
+  lb.on_ack(10, false, now - kMicrosecond);  // fresh spare path
+  lb.on_timeout(now);
+  std::set<std::uint16_t> entropies;
+  for (int i = 0; i < lb.num_subflows(); ++i) entropies.insert(lb.subflow_entropy(i));
+  EXPECT_EQ(entropies.count(1), 0u);  // stale subflow evicted
+  EXPECT_EQ(entropies.count(0), 1u);
+}
+
+TEST(UnoLbTest, PacketsOfABlockSpreadAcrossDistinctPaths) {
+  // The EC integration property (§4.2): a block of n packets sent through
+  // UnoLB lands on n distinct subflows/paths.
+  UnoLb lb(unolb_params(10), 32, Rng(5));
+  std::set<std::uint16_t> paths;
+  for (int i = 0; i < 10; ++i) paths.insert(lb.pick(i));
+  EXPECT_EQ(paths.size(), 10u);
+}
+
+TEST(UnoLbTest, SinglePathDegenerates) {
+  UnoLb lb(unolb_params(4), 1, Rng(5));
+  EXPECT_EQ(lb.pick(0), 0);
+  lb.on_nack(0, kMillisecond);  // nowhere to go; must not crash or loop
+  EXPECT_EQ(lb.reroutes(), 0u);
+}
+
+}  // namespace
+}  // namespace uno

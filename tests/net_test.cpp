@@ -1,0 +1,303 @@
+// Tests for packets, links, queues, RED/phantom marking and loss models.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/event.hpp"
+
+namespace uno {
+namespace {
+
+/// Terminal sink recording arrivals.
+class SinkRecorder : public PacketSink {
+ public:
+  explicit SinkRecorder(EventQueue& eq) : eq_(eq) {}
+  void receive(Packet p) override {
+    arrivals.push_back({eq_.now(), std::move(p)});
+  }
+  const std::string& name() const override { return name_; }
+  std::vector<std::pair<Time, Packet>> arrivals;
+
+ private:
+  EventQueue& eq_;
+  std::string name_ = "sink";
+};
+
+Route make_route(std::initializer_list<PacketSink*> hops) {
+  Route r;
+  r.hops = hops;
+  return r;
+}
+
+Packet data_on(const Route& r, std::uint32_t size = 4096, std::uint64_t seq = 0) {
+  Packet p = make_data_packet(/*flow=*/1, seq, size);
+  p.route = &r;
+  p.hop = 0;
+  return p;
+}
+
+TEST(Link, DelaysByLatency) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  Link link(eq, "l", 5 * kMicrosecond);
+  Route r = make_route({&link, &sink});
+  forward(data_on(r));
+  eq.run_all();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, 5 * kMicrosecond);
+  EXPECT_EQ(link.delivered(), 1u);
+}
+
+TEST(Link, PreservesFifoOrder) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  Link link(eq, "l", kMicrosecond);
+  Route r = make_route({&link, &sink});
+  struct Feeder : EventHandler {
+    Route* r;
+    void on_event(std::uint32_t tag) override {
+      Packet p = make_data_packet(1, tag, 100);
+      p.route = r;
+      forward(std::move(p));
+    }
+  } feeder;
+  feeder.r = &r;
+  for (std::uint32_t i = 0; i < 10; ++i) eq.schedule_at(i * 100, &feeder, i);
+  eq.run_all();
+  ASSERT_EQ(sink.arrivals.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sink.arrivals[i].second.seq, i);
+}
+
+TEST(Link, DownLinkDropsEverything) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  Link link(eq, "l", kMicrosecond);
+  Route r = make_route({&link, &sink});
+  link.set_up(false);
+  forward(data_on(r));
+  eq.run_all();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(link.dropped(), 1u);
+  link.set_up(true);
+  forward(data_on(r));
+  eq.run_all();
+  EXPECT_EQ(sink.arrivals.size(), 1u);
+}
+
+TEST(Link, BernoulliLossDropsExpectedFraction) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  Link link(eq, "l", 1);
+  Route r = make_route({&link, &sink});
+  link.set_loss_model(std::make_unique<BernoulliLoss>(0.3, Rng(5)));
+  for (int i = 0; i < 10000; ++i) forward(data_on(r));
+  eq.run_all();
+  EXPECT_NEAR(static_cast<double>(link.dropped()) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Queue, SerializesAtLineRate) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.rate = 100 * kGbps;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  // Two 4096 B packets back to back: 327.68 ns each.
+  forward(data_on(r, 4096, 0));
+  forward(data_on(r, 4096, 1));
+  eq.run_all();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, 327'680);
+  EXPECT_EQ(sink.arrivals[1].first, 655'360);
+  EXPECT_EQ(q.forwarded(), 2u);
+  EXPECT_EQ(q.bytes_forwarded(), 8192u);
+}
+
+TEST(Queue, TailDropsWhenFull) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.capacity_bytes = 10'000;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  for (int i = 0; i < 5; ++i) forward(data_on(r, 4096, i));  // 3rd..5th exceed
+  EXPECT_EQ(q.drops(), 3u);
+  EXPECT_LE(q.occupancy(), cfg.capacity_bytes);
+  eq.run_all();
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(q.occupancy(), 0);
+}
+
+TEST(Queue, RedMarksAboveMaxThreshold) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.capacity_bytes = 100'000;
+  cfg.red.enabled = true;
+  cfg.red.min_bytes = 25'000;
+  cfg.red.max_bytes = 75'000;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  int marked = 0;
+  for (int i = 0; i < 24; ++i) forward(data_on(r, 4096, i));  // up to ~98 KB
+  eq.run_all();
+  for (auto& [t, p] : sink.arrivals)
+    if (p.ecn_ce) ++marked;
+  // Below min nothing marks; above max everything marks.
+  EXPECT_FALSE(sink.arrivals[0].second.ecn_ce);
+  EXPECT_TRUE(sink.arrivals[23].second.ecn_ce);
+  EXPECT_GT(marked, 5);
+}
+
+TEST(Queue, NotEcnCapablePacketsNeverMarked) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.capacity_bytes = 100'000;
+  cfg.red.enabled = true;
+  cfg.red.min_bytes = 0;  // mark everything markable
+  cfg.red.max_bytes = 1;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  Packet p = data_on(r);
+  p.ecn_capable = false;
+  forward(std::move(p));
+  eq.run_all();
+  EXPECT_FALSE(sink.arrivals[0].second.ecn_ce);
+}
+
+TEST(Queue, PhantomDrainsSlowerThanLineRate) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.rate = 100 * kGbps;
+  cfg.capacity_bytes = 1 << 20;
+  cfg.phantom.enabled = true;
+  cfg.phantom.drain_fraction = 0.9;
+  cfg.phantom.red.enabled = true;
+  cfg.phantom.red.min_bytes = 1 << 20;  // no marking in this test
+  cfg.phantom.red.max_bytes = 2 << 20;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  // Send 100 packets back-to-back at line rate: physical queue drains fully,
+  // phantom retains ~10% of the bytes.
+  for (int i = 0; i < 100; ++i) forward(data_on(r, 4096, i));
+  eq.run_all();
+  EXPECT_EQ(q.occupancy(), 0);
+  const Time now = eq.now();
+  const std::int64_t phantom = q.phantom_occupancy(now);
+  EXPECT_GT(phantom, 30'000);  // ~40960 expected (10% of 409600)
+  EXPECT_LT(phantom, 50'000);
+  // And it keeps draining afterwards.
+  EXPECT_LT(q.phantom_occupancy(now + 3 * kMicrosecond), phantom);
+  EXPECT_EQ(q.phantom_occupancy(now + kMillisecond), 0);
+}
+
+TEST(Queue, PhantomMarkingIndependentOfPhysicalOccupancy) {
+  EventQueue eq;
+  SinkRecorder sink(eq);
+  QueueConfig cfg;
+  cfg.rate = 100 * kGbps;
+  cfg.capacity_bytes = 10 << 20;  // deep physical buffer, RED off
+  cfg.phantom.enabled = true;
+  cfg.phantom.drain_fraction = 0.5;  // aggressive for the test
+  cfg.phantom.red.enabled = true;
+  cfg.phantom.red.min_bytes = 8'192;
+  cfg.phantom.red.max_bytes = 16'384;
+  Queue q(eq, "q", cfg);
+  Route r = make_route({&q, &sink});
+  for (int i = 0; i < 50; ++i) forward(data_on(r, 4096, i));
+  eq.run_all();
+  int marked = 0;
+  for (auto& [t, p] : sink.arrivals)
+    if (p.ecn_ce) ++marked;
+  EXPECT_GT(marked, 25);  // phantom saturates quickly at 0.5x drain
+}
+
+TEST(Host, DemuxesByFlowId) {
+  EventQueue eq;
+  Host host(0, 0, "h0");
+  SinkRecorder a(eq), b(eq);
+  host.register_flow(1, &a);
+  host.register_flow(2, &b);
+  Route r = make_route({&host});
+  Packet p1 = make_data_packet(1, 0, 100);
+  p1.route = &r;
+  Packet p2 = make_data_packet(2, 0, 100);
+  p2.route = &r;
+  Packet p3 = make_data_packet(3, 0, 100);  // unknown flow
+  p3.route = &r;
+  forward(std::move(p1));
+  forward(std::move(p2));
+  forward(std::move(p3));
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(host.stray_packets(), 1u);
+  host.unregister_flow(1);
+  Packet p4 = make_data_packet(1, 1, 100);
+  p4.route = &r;
+  forward(std::move(p4));
+  EXPECT_EQ(host.stray_packets(), 2u);
+}
+
+TEST(Packet, AckEchoesEcnAndTimestamps) {
+  Route rev;
+  Packet d = make_data_packet(9, 42, 4096);
+  d.ecn_ce = true;
+  d.sent_time = 12345;
+  d.entropy = 3;
+  d.block_id = 7;
+  d.shard = 2;
+  Packet a = make_ack_packet(d, &rev);
+  EXPECT_EQ(a.type, PacketType::kAck);
+  EXPECT_EQ(a.flow_id, 9u);
+  EXPECT_EQ(a.ack_seq, 42u);
+  EXPECT_TRUE(a.ecn_echo);
+  EXPECT_EQ(a.echo_sent_time, 12345);
+  EXPECT_EQ(a.entropy, 3);
+  EXPECT_EQ(a.block_id, 7u);
+  EXPECT_EQ(a.size, kAckSize);
+  EXPECT_FALSE(a.ecn_capable);
+}
+
+TEST(GilbertElliott, MatchesTargetLossRate) {
+  auto params = GilbertElliottLoss::table1_setup1();
+  GilbertElliottLoss model(params, Rng(11));
+  const int n = 4'000'000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i)
+    if (model.should_drop(0)) ++drops;
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_NEAR(rate, 5.01e-5, 2.5e-5);  // within 50% of the paper's figure
+}
+
+TEST(GilbertElliott, LossesAreBursty) {
+  auto params = GilbertElliottLoss::table1_setup1();
+  GilbertElliottLoss model(params, Rng(13));
+  // Count chunks of 10 with exactly 1 vs >= 2 losses; correlated losses mean
+  // multi-loss chunks occur far more often than the independent prediction.
+  const int chunks = 2'000'000;
+  int one = 0, multi = 0, total = 0;
+  for (int c = 0; c < chunks; ++c) {
+    int lost = 0;
+    for (int i = 0; i < 10; ++i)
+      if (model.should_drop(0)) ++lost;
+    total += lost;
+    if (lost == 1) ++one;
+    if (lost >= 2) ++multi;
+  }
+  ASSERT_GT(one, 0);
+  const double p_loss = static_cast<double>(total) / (10.0 * chunks);
+  // Independent losses would give P(>=2 in 10) ~ 45 * p^2 -- orders of
+  // magnitude below what the burst model must produce.
+  const double independent = 45.0 * p_loss * p_loss * chunks;
+  EXPECT_GT(static_cast<double>(multi), 20.0 * independent);
+}
+
+}  // namespace
+}  // namespace uno

@@ -1,0 +1,149 @@
+// Stats layer tests: percentiles, FCT summaries, Jain index, convergence
+// detection, distribution summaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stats/csv.hpp"
+#include "stats/fct.hpp"
+#include "stats/sampler.hpp"
+#include "stats/summary.hpp"
+
+namespace uno {
+namespace {
+
+TEST(Percentile, BasicRanks) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_NEAR(percentile(v, 99), 9.91, 0.01);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7);
+}
+
+FlowResult result(bool interdc, std::uint64_t size, Time fct) {
+  FlowResult r;
+  r.interdc = interdc;
+  r.size_bytes = size;
+  r.completion_time = fct;
+  return r;
+}
+
+TEST(FctCollectorTest, SplitsByClass) {
+  FctCollector c;
+  c.add(result(false, 1000, 10 * kMicrosecond));
+  c.add(result(false, 1000, 20 * kMicrosecond));
+  c.add(result(true, 1000, 3 * kMillisecond));
+  EXPECT_EQ(c.summarize(FctCollector::Class::kAll).count, 3u);
+  const auto intra = c.summarize(FctCollector::Class::kIntra);
+  EXPECT_EQ(intra.count, 2u);
+  EXPECT_DOUBLE_EQ(intra.mean_us, 15.0);
+  const auto inter = c.summarize(FctCollector::Class::kInter);
+  EXPECT_EQ(inter.count, 1u);
+  EXPECT_DOUBLE_EQ(inter.mean_us, 3000.0);
+}
+
+TEST(FctCollectorTest, SlowdownUsesIdealModel) {
+  FctCollector c(FctCollector::pipe_ideal(100 * kGbps, 14 * kMicrosecond, 2 * kMillisecond));
+  // Intra flow, 125000 B -> serialization 10 us + 14 us = 24 us ideal.
+  c.add(result(false, 125'000, 48 * kMicrosecond));
+  const auto s = c.summarize();
+  EXPECT_NEAR(s.mean_slowdown, 2.0, 0.01);
+}
+
+TEST(FctCollectorTest, CallbackFeedsCollector) {
+  FctCollector c;
+  auto cb = c.callback();
+  cb(result(false, 1, kMicrosecond));
+  EXPECT_EQ(c.count(), 1u);
+}
+
+TEST(JainIndex, PerfectAndSkewed) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_NEAR(jain_index({1, 0, 0, 0}), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+}
+
+TEST(TimeSeriesTest, MaxAndMean) {
+  TimeSeries s;
+  s.add(0, 1);
+  s.add(1, 3);
+  s.add(2, 2);
+  EXPECT_DOUBLE_EQ(s.max(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2);
+}
+
+TEST(Distribution, QuartilesOfKnownSample) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Distribution d = Distribution::of(v);
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_DOUBLE_EQ(d.min, 1);
+  EXPECT_DOUBLE_EQ(d.max, 100);
+  EXPECT_NEAR(d.p50, 50.5, 0.01);
+  EXPECT_NEAR(d.p25, 25.75, 0.01);
+  EXPECT_NEAR(d.mean, 50.5, 0.01);
+}
+
+TEST(Distribution, EmptySample) {
+  const Distribution d = Distribution::of({});
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_DOUBLE_EQ(d.mean, 0);
+}
+
+TEST(Csv, TimeSeriesRoundTrip) {
+  TimeSeries a{"rate_a", {kMicrosecond, 2 * kMicrosecond}, {1.5, 2.5}};
+  TimeSeries b{"rate_b", {kMicrosecond}, {9.0}};  // shorter series
+  const char* path = "/tmp/uno_csv_test.csv";
+  ASSERT_TRUE(write_time_series_csv(path, {&a, &b}));
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "time_us,rate_a,rate_b");
+  EXPECT_EQ(l2, "1,1.5,9");
+  EXPECT_EQ(l3, "2,2.5,");  // missing cell left empty
+}
+
+TEST(Csv, FlowResultsRoundTrip) {
+  FlowResult r;
+  r.id = 7;
+  r.src = 1;
+  r.dst = 130;
+  r.interdc = true;
+  r.size_bytes = 4096;
+  r.start_time = kMillisecond;
+  r.completion_time = 2 * kMillisecond;
+  r.packets_sent = 2;
+  r.retransmits = 1;
+  r.nacks = 0;
+  const char* path = "/tmp/uno_csv_flows.csv";
+  ASSERT_TRUE(write_flow_results_csv(path, {r}));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(row, "7,1,130,1,4096,1000,2000,2,1,0");
+}
+
+TEST(Csv, UnwritablePathFails) {
+  EXPECT_FALSE(write_flow_results_csv("/nonexistent_dir/x.csv", {}));
+  TimeSeries s{"x", {0}, {0}};
+  EXPECT_FALSE(write_time_series_csv("/nonexistent_dir/x.csv", {&s}));
+}
+
+TEST(TablePrinter, FormatsWithoutCrashing) {
+  Table t({"scheme", "fct"});
+  t.add_row({"uno", Table::fmt(3.14159, 3)});
+  t.print("smoke");
+  EXPECT_EQ(Table::fmt(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace uno

@@ -1,0 +1,233 @@
+// uno_sim — command-line driver for ad-hoc simulations.
+//
+// Runs any catalogued scheme against any built-in workload on a configurable
+// two-DC topology and prints an FCT summary. Examples:
+//
+//   uno_sim --scheme uno --workload poisson --load 0.4 --duration-ms 5
+//   uno_sim --scheme gemini --workload incast --flows 8 --size-mb 16
+//   uno_sim --scheme mprdma+bbr --workload permutation --size-mb 4
+//   uno_sim --scheme uno --workload poisson --rtt-ratio 512 --fail-links 2
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "stats/summary.hpp"
+#include "workload/cdf.hpp"
+#include "workload/traffic.hpp"
+
+using namespace uno;
+
+namespace {
+
+/// Minimal --key value / --key=value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool has(const std::string& k) const { return values_.count(k) > 0; }
+  std::string str(const std::string& k, const std::string& def) const {
+    auto it = values_.find(k);
+    return it == values_.end() ? def : it->second;
+  }
+  double num(const std::string& k, double def) const {
+    auto it = values_.find(k);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  /// Flags consumed so far; anything else is a typo.
+  bool validate(std::initializer_list<const char*> known) const {
+    bool good = true;
+    for (const auto& [k, v] : values_) {
+      bool found = false;
+      for (const char* n : known) found |= k == n;
+      if (!found) {
+        std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+        good = false;
+      }
+    }
+    return good;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+void usage() {
+  std::puts(
+      "uno_sim — run one simulation and print FCT statistics\n"
+      "\n"
+      "  --scheme NAME      uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
+      "                     swift+bbr | dctcp | unocc+rps | unocc+plb        [uno]\n"
+      "  --workload NAME    poisson | incast | permutation | replay [poisson]\n"
+      "  --trace FILE       replay: CSV of src,dst,bytes,start_us\n"
+      "  --load F           Poisson offered load fraction        [0.4]\n"
+      "  --duration-ms F    Poisson arrival window               [5]\n"
+      "  --active-hosts N   Poisson participants (0 = all)       [64]\n"
+      "  --flows N          incast senders (half intra, half inter) [8]\n"
+      "  --size-mb F        flow size for incast/permutation     [8]\n"
+      "  --size-scale F     scale factor for Poisson CDFs        [0.03125]\n"
+      "  --rtt-ratio N      inter/intra RTT ratio                [143 => 2 ms]\n"
+      "  --k N              fat-tree arity per DC                [8]\n"
+      "  --dcs N            datacenters (full border mesh)       [2]\n"
+      "  --cross-links N    WAN links between the borders        [8]\n"
+      "  --fail-links N     border links to fail at t=0          [0]\n"
+      "  --loss-scale F     Table-1 burst loss amplification     [0]\n"
+      "  --seed N           RNG seed                             [1]\n"
+      "  --deadline-ms F    simulation deadline                  [1000]\n"
+      "  --queues           also print the busiest queues\n");
+}
+
+SchemeSpec parse_scheme(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "uno") return SchemeSpec::uno();
+  if (name == "uno+ecmp") return SchemeSpec::uno_ecmp();
+  if (name == "uno-noec") return SchemeSpec::uno_no_ec();
+  if (name == "gemini") return SchemeSpec::gemini();
+  if (name == "mprdma+bbr") return SchemeSpec::mprdma_bbr();
+  if (name == "dctcp") return SchemeSpec::dctcp();
+  if (name == "swift+bbr") return SchemeSpec::swift_bbr();
+  if (name == "unocc+rps") return SchemeSpec::unocc_with(LbKind::kRps, true, "unocc+rps");
+  if (name == "unocc+plb") return SchemeSpec::unocc_with(LbKind::kPlb, true, "unocc+plb");
+  if (name == "unocc+reps") return SchemeSpec::unocc_with(LbKind::kReps, true, "unocc+reps");
+  *ok = false;
+  return SchemeSpec::uno();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (!flags.ok() || flags.has("help")) {
+    usage();
+    return flags.ok() ? 0 : 2;
+  }
+  if (!flags.validate({"scheme", "workload", "load", "duration-ms", "active-hosts", "flows",
+                       "size-mb", "size-scale", "rtt-ratio", "k", "cross-links",
+                       "fail-links", "loss-scale", "seed", "deadline-ms", "queues", "trace", "dcs",
+                       "help"})) {
+    usage();
+    return 2;
+  }
+
+  bool scheme_ok = false;
+  ExperimentConfig cfg;
+  cfg.scheme = parse_scheme(flags.str("scheme", "uno"), &scheme_ok);
+  if (!scheme_ok) {
+    std::fprintf(stderr, "unknown scheme\n");
+    return 2;
+  }
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.uno.fattree_k = static_cast<int>(flags.num("k", 8));
+  cfg.uno.num_dcs = static_cast<int>(flags.num("dcs", 2));
+  cfg.uno.cross_links = static_cast<int>(flags.num("cross-links", 8));
+  if (flags.has("rtt-ratio"))
+    cfg.uno.inter_rtt = static_cast<Time>(flags.num("rtt-ratio", 143) *
+                                          static_cast<double>(cfg.uno.intra_rtt));
+
+  Experiment ex(cfg);
+  const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+
+  const int fails = static_cast<int>(flags.num("fail-links", 0));
+  for (int j = 0; j < fails && j < ex.topo().cross_link_count(); ++j)
+    ex.topo().cross_link(0, 1, j).set_up(false);
+  const double loss_scale = flags.num("loss-scale", 0);
+  if (loss_scale > 0) {
+    BurstLoss::Params p = BurstLoss::table1_setup1();
+    p.event_rate *= loss_scale;
+    std::uint64_t stream = 900;
+    for (int d = 0; d < ex.topo().num_dcs(); ++d)
+      for (int peer = 0; peer < ex.topo().num_dcs(); ++peer)
+        for (int j = 0; peer != d && j < ex.topo().cross_link_count(); ++j)
+          ex.topo().cross_link(d, peer, j).set_loss_model(
+              std::make_unique<BurstLoss>(p, Rng::stream(cfg.seed, stream++)));
+  }
+
+  const std::string workload = flags.str("workload", "poisson");
+  const auto size_bytes =
+      static_cast<std::uint64_t>(flags.num("size-mb", 8) * (1 << 20));
+  std::vector<FlowSpec> specs;
+  if (workload == "poisson") {
+    PoissonConfig pc;
+    pc.load = flags.num("load", 0.4);
+    pc.duration = static_cast<Time>(flags.num("duration-ms", 5) * kMillisecond);
+    pc.active_hosts = static_cast<int>(flags.num("active-hosts", 64));
+    pc.seed = cfg.seed;
+    const double ss = flags.num("size-scale", 1.0 / 32.0);
+    specs = make_poisson_mixed(hosts, EmpiricalCdf::websearch().scaled(ss),
+                               EmpiricalCdf::alibaba_wan().scaled(ss), pc);
+  } else if (workload == "incast") {
+    const int n = static_cast<int>(flags.num("flows", 8));
+    specs = make_incast(hosts, 0, n / 2, n - n / 2, size_bytes);
+  } else if (workload == "permutation") {
+    specs = make_permutation(hosts, size_bytes, cfg.seed);
+  } else if (workload == "replay") {
+    const std::string trace = flags.str("trace", "");
+    if (trace.empty()) {
+      std::fprintf(stderr, "--workload replay requires --trace FILE\n");
+      return 2;
+    }
+    specs = load_flow_specs_csv(trace, hosts);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+
+  std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms\n",
+              cfg.scheme.name.c_str(), workload.c_str(), specs.size(), hosts.total(),
+              to_milliseconds(cfg.uno.inter_rtt));
+  ex.spawn_all(specs);
+  const Time deadline = static_cast<Time>(flags.num("deadline-ms", 1000) * kMillisecond);
+  const bool done = ex.run_to_completion(deadline);
+
+  Table t({"class", "count", "mean us", "p50 us", "p99 us", "max us", "mean slowdown"});
+  for (auto [name, cls] :
+       {std::pair{"all", FctCollector::Class::kAll}, {"intra", FctCollector::Class::kIntra},
+        {"inter", FctCollector::Class::kInter}}) {
+    const FctSummary s = ex.fct().summarize(cls);
+    t.add_row({name, std::to_string(s.count), Table::fmt(s.mean_us, 1),
+               Table::fmt(s.p50_us, 1), Table::fmt(s.p99_us, 1), Table::fmt(s.max_us, 1),
+               Table::fmt(s.mean_slowdown, 2)});
+  }
+  t.print("flow completion times");
+  std::printf("\ncompleted %zu/%zu flows%s | fabric drops=%llu trims=%llu | sim time %.2f ms\n",
+              ex.flows_completed(), ex.flows_spawned(), done ? "" : " (DEADLINE HIT)",
+              static_cast<unsigned long long>(ex.topo().total_drops()),
+              static_cast<unsigned long long>(ex.topo().total_trims()),
+              to_milliseconds(ex.eq().now()));
+
+  if (flags.has("queues")) {
+    auto qs = ex.topo().all_queues();
+    std::sort(qs.begin(), qs.end(),
+              [](Queue* a, Queue* b) { return a->bytes_forwarded() > b->bytes_forwarded(); });
+    Table qt({"queue", "GB fwd", "max occ KiB", "trims", "ecn marked"});
+    for (std::size_t i = 0; i < 10 && i < qs.size(); ++i)
+      qt.add_row({qs[i]->name(), Table::fmt(qs[i]->bytes_forwarded() / 1e9, 2),
+                  Table::fmt(qs[i]->max_occupancy() / 1024.0, 0),
+                  std::to_string(qs[i]->trims()), std::to_string(qs[i]->ecn_marked())});
+    qt.print("busiest queues");
+  }
+  return done ? 0 : 1;
+}

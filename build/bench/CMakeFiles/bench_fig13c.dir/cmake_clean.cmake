@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13c.dir/bench_fig13c.cpp.o"
+  "CMakeFiles/bench_fig13c.dir/bench_fig13c.cpp.o.d"
+  "bench_fig13c"
+  "bench_fig13c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdc_allreduce.dir/interdc_allreduce.cpp.o"
+  "CMakeFiles/interdc_allreduce.dir/interdc_allreduce.cpp.o.d"
+  "interdc_allreduce"
+  "interdc_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdc_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

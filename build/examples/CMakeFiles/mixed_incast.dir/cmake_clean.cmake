@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_incast.dir/mixed_incast.cpp.o"
+  "CMakeFiles/mixed_incast.dir/mixed_incast.cpp.o.d"
+  "mixed_incast"
+  "mixed_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

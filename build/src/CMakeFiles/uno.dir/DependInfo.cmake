@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/uno.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/uno.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/uno.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/uno.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/CMakeFiles/uno.dir/core/scheme.cpp.o" "gcc" "src/CMakeFiles/uno.dir/core/scheme.cpp.o.d"
+  "/root/repo/src/fec/block.cpp" "src/CMakeFiles/uno.dir/fec/block.cpp.o" "gcc" "src/CMakeFiles/uno.dir/fec/block.cpp.o.d"
+  "/root/repo/src/fec/gf256.cpp" "src/CMakeFiles/uno.dir/fec/gf256.cpp.o" "gcc" "src/CMakeFiles/uno.dir/fec/gf256.cpp.o.d"
+  "/root/repo/src/fec/payload.cpp" "src/CMakeFiles/uno.dir/fec/payload.cpp.o" "gcc" "src/CMakeFiles/uno.dir/fec/payload.cpp.o.d"
+  "/root/repo/src/fec/rs.cpp" "src/CMakeFiles/uno.dir/fec/rs.cpp.o" "gcc" "src/CMakeFiles/uno.dir/fec/rs.cpp.o.d"
+  "/root/repo/src/lb/loadbalancer.cpp" "src/CMakeFiles/uno.dir/lb/loadbalancer.cpp.o" "gcc" "src/CMakeFiles/uno.dir/lb/loadbalancer.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/uno.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/uno.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/loss.cpp" "src/CMakeFiles/uno.dir/net/loss.cpp.o" "gcc" "src/CMakeFiles/uno.dir/net/loss.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/uno.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/uno.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/uno.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/uno.dir/net/queue.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/CMakeFiles/uno.dir/sim/event.cpp.o" "gcc" "src/CMakeFiles/uno.dir/sim/event.cpp.o.d"
+  "/root/repo/src/sim/logger.cpp" "src/CMakeFiles/uno.dir/sim/logger.cpp.o" "gcc" "src/CMakeFiles/uno.dir/sim/logger.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "src/CMakeFiles/uno.dir/stats/csv.cpp.o" "gcc" "src/CMakeFiles/uno.dir/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/fct.cpp" "src/CMakeFiles/uno.dir/stats/fct.cpp.o" "gcc" "src/CMakeFiles/uno.dir/stats/fct.cpp.o.d"
+  "/root/repo/src/stats/sampler.cpp" "src/CMakeFiles/uno.dir/stats/sampler.cpp.o" "gcc" "src/CMakeFiles/uno.dir/stats/sampler.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/uno.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/uno.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/uno.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/uno.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/interdc.cpp" "src/CMakeFiles/uno.dir/topo/interdc.cpp.o" "gcc" "src/CMakeFiles/uno.dir/topo/interdc.cpp.o.d"
+  "/root/repo/src/transport/bbr.cpp" "src/CMakeFiles/uno.dir/transport/bbr.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/bbr.cpp.o.d"
+  "/root/repo/src/transport/dctcp.cpp" "src/CMakeFiles/uno.dir/transport/dctcp.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/dctcp.cpp.o.d"
+  "/root/repo/src/transport/flow.cpp" "src/CMakeFiles/uno.dir/transport/flow.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/flow.cpp.o.d"
+  "/root/repo/src/transport/gemini.cpp" "src/CMakeFiles/uno.dir/transport/gemini.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/gemini.cpp.o.d"
+  "/root/repo/src/transport/mprdma.cpp" "src/CMakeFiles/uno.dir/transport/mprdma.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/mprdma.cpp.o.d"
+  "/root/repo/src/transport/swift.cpp" "src/CMakeFiles/uno.dir/transport/swift.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/swift.cpp.o.d"
+  "/root/repo/src/transport/unocc.cpp" "src/CMakeFiles/uno.dir/transport/unocc.cpp.o" "gcc" "src/CMakeFiles/uno.dir/transport/unocc.cpp.o.d"
+  "/root/repo/src/workload/allreduce.cpp" "src/CMakeFiles/uno.dir/workload/allreduce.cpp.o" "gcc" "src/CMakeFiles/uno.dir/workload/allreduce.cpp.o.d"
+  "/root/repo/src/workload/cdf.cpp" "src/CMakeFiles/uno.dir/workload/cdf.cpp.o" "gcc" "src/CMakeFiles/uno.dir/workload/cdf.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/CMakeFiles/uno.dir/workload/traffic.cpp.o" "gcc" "src/CMakeFiles/uno.dir/workload/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

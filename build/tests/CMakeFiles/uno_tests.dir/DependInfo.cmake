@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc_test.cpp" "tests/CMakeFiles/uno_tests.dir/cc_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/cc_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/uno_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/uno_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/uno_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/extension_test.cpp" "tests/CMakeFiles/uno_tests.dir/extension_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/extension_test.cpp.o.d"
+  "/root/repo/tests/fec_test.cpp" "tests/CMakeFiles/uno_tests.dir/fec_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/fec_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/uno_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lb_test.cpp" "tests/CMakeFiles/uno_tests.dir/lb_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/lb_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/uno_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/payload_test.cpp" "tests/CMakeFiles/uno_tests.dir/payload_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/payload_test.cpp.o.d"
+  "/root/repo/tests/random_test.cpp" "tests/CMakeFiles/uno_tests.dir/random_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/random_test.cpp.o.d"
+  "/root/repo/tests/resilience_test.cpp" "tests/CMakeFiles/uno_tests.dir/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/resilience_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/uno_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/uno_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/uno_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/sweep_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/uno_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/transport_test.cpp" "tests/CMakeFiles/uno_tests.dir/transport_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/transport_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/uno_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/uno_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uno.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

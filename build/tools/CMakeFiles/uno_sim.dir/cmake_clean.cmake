@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uno_sim.dir/uno_sim.cpp.o"
+  "CMakeFiles/uno_sim.dir/uno_sim.cpp.o.d"
+  "uno_sim"
+  "uno_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uno_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

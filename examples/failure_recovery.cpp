@@ -2,10 +2,11 @@
 //
 // Part 1 uses the Reed–Solomon codec directly on real bytes — encode a
 // block, destroy any two shards, reconstruct bit-exactly.
-// Part 2 runs a WAN transfer while a border link dies mid-flight and bursty
-// random loss (calibrated to the paper's Table 1, amplified) hits the rest,
-// showing EC masking losses without retransmission and UnoLB steering off
-// the dead link.
+// Part 2 scripts a fault timeline with the declarative FaultPlan API
+// (src/faults): a border link dies mid-flight while a gray-failure loss
+// spike hits the rest of the WAN cut, showing EC masking losses without
+// retransmission, UnoLB steering off the dead link, and the resilience
+// tracker measuring recovery time.
 //
 //   $ ./failure_recovery
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include "core/experiment.hpp"
 #include "fec/rs.hpp"
 #include "lb/loadbalancer.hpp"
+#include "stats/resilience.hpp"
 
 using namespace uno;
 
@@ -45,33 +47,42 @@ static void demo_codec() {
 }
 
 static void demo_transport() {
-  std::printf("\n--- 32 MiB WAN transfer under failures ---\n");
+  std::printf("\n--- 32 MiB WAN transfer under a scripted fault plan ---\n");
+  // The whole failure scenario is one declarative timeline: a gray failure
+  // (Gilbert–Elliott loss spike, 200x the paper's Table-1 event rate) on
+  // every WAN link from the start, and border link 4 severed at t=1ms while
+  // the flow is mid-flight.
+  const char* plan_spec =
+      "0us loss border:* model=ge scale=200;"
+      "1ms down border:4";
   for (const bool ec : {false, true}) {
     ExperimentConfig cfg;
     cfg.scheme = ec ? SchemeSpec::uno() : SchemeSpec::uno_no_ec();
+    std::string err;
+    if (!FaultPlan::parse(plan_spec, &cfg.faults, &err)) {
+      std::printf("bad fault plan: %s\n", err.c_str());
+      return;
+    }
     Experiment ex(cfg);
 
-    // Bursty random loss on every WAN link (Table-1 Setup-1 shape, 200x).
-    BurstLoss::Params loss = BurstLoss::table1_setup1();
-    loss.event_rate *= 200;
-    for (int d = 0; d < 2; ++d)
-      for (int j = 0; j < ex.topo().cross_link_count(); ++j)
-        ex.topo().cross_link(d, j).set_loss_model(
-            std::make_unique<BurstLoss>(loss, Rng::stream(7, d * 8 + j)));
-
     FlowSender& f = ex.spawn({5, 128 + 9, 32 << 20, 0, true});
-    // A border link dies 1 ms in (while the flow is mid-flight).
-    ex.run_until(kMillisecond);
-    ex.topo().cross_link(0, 4).set_up(false);
+    ResilienceTracker tracker(ex.eq(), 100 * kMicrosecond);
+    tracker.watch(&f);
+    tracker.note_fault(kMillisecond);  // measure from the hard failure
+    tracker.start();
     ex.run_to_completion(2 * kSecond);
+    tracker.stop();
 
     auto* lb = dynamic_cast<UnoLb*>(&f.lb());
+    const ResilienceSummary rs = tracker.summarize();
     std::printf(
-        "%-7s fct=%7.2f ms  retransmits=%-4llu nacks=%-3llu reroutes=%llu\n",
+        "%-7s fct=%7.2f ms  retransmits=%-4llu fec_masked=%-4llu nacks=%-3llu "
+        "reroutes=%llu recovery=%.0f us\n",
         ec ? "uno" : "no-ec", to_milliseconds(f.fct()),
         static_cast<unsigned long long>(f.retransmits()),
+        static_cast<unsigned long long>(f.fec_masked()),
         static_cast<unsigned long long>(f.nacks_received()),
-        static_cast<unsigned long long>(lb ? lb->reroutes() : 0));
+        static_cast<unsigned long long>(lb ? lb->reroutes() : 0), rs.mean_recovery_us);
   }
   std::printf("(EC absorbs isolated losses with parity — fewer retransmissions,\n"
               " faster completion; UnoLB reroutes subflows off the dead link.)\n");

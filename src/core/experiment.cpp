@@ -117,6 +117,10 @@ Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
       for (Queue* q : topo_->source_side_queues(d))
         q->set_qcn_hook([this](const Packet& p) { qcn_->notify(p); });
   }
+  // The injector draws from its own RNG stream family off the experiment
+  // seed, so adding/removing faults never perturbs workload or LB draws.
+  if (!cfg_.faults.empty())
+    faults_ = std::make_unique<FaultInjector>(eq_, *topo_, cfg_.faults, cfg_.seed);
 }
 
 FlowParams Experiment::flow_params(const FlowSpec& spec) const {

@@ -11,6 +11,8 @@
 
 #include "core/config.hpp"
 #include "core/scheme.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
 #include "stats/fct.hpp"
 #include "topo/interdc.hpp"
 #include "workload/traffic.hpp"
@@ -23,6 +25,9 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   /// Scale the default topology down (k=4 -> 16 hosts/DC) for unit tests.
   int fattree_k = 0;  // 0 -> uno.fattree_k
+  /// Declarative fault timeline, executed by a FaultInjector the experiment
+  /// owns (see src/faults). Empty = fault-free run.
+  FaultPlan faults;
 };
 
 /// Delivers Annulus-style QCN notifications from source-side switch ports
@@ -84,6 +89,8 @@ class Experiment {
   FlowSender& sender(std::size_t i) { return flows_[i]->sender(); }
   /// Annulus dispatcher (null unless the scheme enables the add-on).
   QcnDispatcher* qcn_dispatcher() { return qcn_.get(); }
+  /// Fault injector (null for a fault-free run).
+  FaultInjector* fault_injector() { return faults_.get(); }
 
   /// Build the topology config implied by (UnoConfig, scheme): RED on every
   /// port; phantom queues on top when the scheme uses phantom marking.
@@ -96,6 +103,7 @@ class Experiment {
   std::unique_ptr<InterDcTopology> topo_;
   FctCollector fct_;
   std::unique_ptr<QcnDispatcher> qcn_;
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::size_t completed_ = 0;
   std::uint64_t next_flow_id_ = 1;

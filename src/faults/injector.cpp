@@ -1,0 +1,187 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "topo/interdc.hpp"
+
+namespace uno {
+
+namespace {
+
+/// Strip a ".l"/".q" pipe suffix so one pattern addresses the whole port.
+std::string base_name(const std::string& name) {
+  if (name.size() > 2 && name[name.size() - 2] == '.' &&
+      (name.back() == 'l' || name.back() == 'q'))
+    return name.substr(0, name.size() - 2);
+  return name;
+}
+
+/// Expand the border:N / border:* sugar into a name glob.
+std::string expand_target(const std::string& target) {
+  if (target.rfind("border:", 0) == 0) {
+    const std::string idx = target.substr(7);
+    return idx == "*" ? "*.cross*" : "*.cross*." + idx;
+  }
+  return target;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(EventQueue& eq, InterDcTopology& topo, FaultPlan plan,
+                             std::uint64_t seed)
+    : eq_(eq), topo_(topo), plan_(std::move(plan)), seed_(seed) {
+  targets_.resize(plan_.events.size());
+  saved_.resize(plan_.events.size());
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    targets_[i] = resolve(e.target);
+    if (targets_[i].links.empty() && targets_[i].queues.empty()) {
+      unmatched_.push_back(e.target);
+      continue;
+    }
+    eq_.schedule_at(std::max(e.at, eq_.now()), this, tag_of(i, kPhaseApply));
+    // Flap restoration is driven by the toggle chain itself; everything else
+    // with a finite end time gets an explicit restore event.
+    if (e.until != kTimeInfinity && e.kind != FaultKind::kFlap &&
+        e.kind != FaultKind::kLinkDown && e.kind != FaultKind::kLinkUp)
+      eq_.schedule_at(e.until, this, tag_of(i, kPhaseRestore));
+    if (e.until != kTimeInfinity && e.kind == FaultKind::kLinkDown)
+      eq_.schedule_at(e.until, this, tag_of(i, kPhaseRestore));  // auto-repair
+  }
+}
+
+FaultInjector::Targets FaultInjector::resolve(const std::string& pattern) const {
+  const std::string glob = expand_target(pattern);
+  Targets out;
+  for (Link* l : topo_.all_links())
+    if (glob_match(glob, base_name(l->name())) || glob_match(glob, l->name()))
+      out.links.push_back(l);
+  for (Queue* q : topo_.all_queues())
+    if (glob_match(glob, base_name(q->name())) || glob_match(glob, q->name()))
+      out.queues.push_back(q);
+  return out;
+}
+
+void FaultInjector::set_links_up(std::size_t i, bool up) {
+  for (Link* l : targets_[i].links) {
+    l->set_up(up);
+    ++actions_;
+  }
+}
+
+void FaultInjector::on_event(std::uint32_t tag) {
+  const std::size_t i = tag >> 1;
+  assert(i < plan_.events.size());
+  if ((tag & 1) == kPhaseApply)
+    apply(i);
+  else
+    restore(i);
+}
+
+void FaultInjector::apply(std::size_t i) {
+  const FaultEvent& e = plan_.events[i];
+  Targets& t = targets_[i];
+  Saved& s = saved_[i];
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      set_links_up(i, false);
+      break;
+    case FaultKind::kLinkUp:
+      set_links_up(i, true);
+      break;
+    case FaultKind::kFlap:
+      flap_toggle(i);
+      break;
+    case FaultKind::kLatency:
+      s.latencies.clear();
+      for (Link* l : t.links) {
+        s.latencies.push_back(l->latency());
+        l->set_latency(static_cast<Time>(static_cast<double>(l->latency()) * e.factor) +
+                       e.add);
+        ++actions_;
+      }
+      break;
+    case FaultKind::kLoss: {
+      s.losses.clear();
+      std::uint64_t stream = 0xFA000000ULL + i * 4096;
+      for (Link* l : t.links) {
+        std::unique_ptr<LossModel> model;
+        if (e.gilbert) {
+          GilbertElliottLoss::Params p = GilbertElliottLoss::table1_setup1();
+          p.p_good_to_bad = std::min(1.0, p.p_good_to_bad * e.scale);
+          model = std::make_unique<GilbertElliottLoss>(p, Rng::stream(seed_, stream++));
+        } else {
+          model = std::make_unique<BernoulliLoss>(e.rate, Rng::stream(seed_, stream++));
+        }
+        s.losses.push_back(l->swap_loss_model(std::move(model)));
+        ++actions_;
+      }
+      break;
+    }
+    case FaultKind::kEcnStuck:
+      for (Queue* q : t.queues) {
+        q->set_force_ecn(true);
+        ++actions_;
+      }
+      break;
+  }
+}
+
+void FaultInjector::restore(std::size_t i) {
+  const FaultEvent& e = plan_.events[i];
+  Targets& t = targets_[i];
+  Saved& s = saved_[i];
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      set_links_up(i, true);
+      break;
+    case FaultKind::kLatency:
+      for (std::size_t j = 0; j < t.links.size(); ++j) {
+        t.links[j]->set_latency(s.latencies[j]);
+        ++actions_;
+      }
+      break;
+    case FaultKind::kLoss:
+      for (std::size_t j = 0; j < t.links.size(); ++j) {
+        t.links[j]->swap_loss_model(std::move(s.losses[j]));
+        ++actions_;
+      }
+      s.losses.clear();
+      break;
+    case FaultKind::kEcnStuck:
+      for (Queue* q : t.queues) {
+        q->set_force_ecn(false);
+        ++actions_;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::flap_toggle(std::size_t i) {
+  const FaultEvent& e = plan_.events[i];
+  Saved& s = saved_[i];
+  const Time now = eq_.now();
+  if (now >= e.until) {
+    if (s.flap_down) {
+      set_links_up(i, true);
+      s.flap_down = false;
+    }
+    return;
+  }
+  Time next;
+  if (!s.flap_down) {
+    set_links_up(i, false);
+    s.flap_down = true;
+    next = now + static_cast<Time>(static_cast<double>(e.period) * e.duty);
+  } else {
+    set_links_up(i, true);
+    s.flap_down = false;
+    next = now + static_cast<Time>(static_cast<double>(e.period) * (1.0 - e.duty));
+  }
+  eq_.schedule_at(std::min(next, e.until), this, tag_of(i, kPhaseApply));
+}
+
+}  // namespace uno

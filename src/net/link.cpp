@@ -12,7 +12,21 @@ void Link::receive(Packet p) {
   if (inflight_.size() == 1) eq_.schedule_at(exit, this);
 }
 
+void Link::set_up(bool up) {
+  if (!up && up_) {
+    // The wire is severed: everything currently propagating is lost. The
+    // already-scheduled delivery events turn into stale no-ops (see the
+    // guards in on_event).
+    dropped_ += inflight_.size();
+    inflight_.clear();
+  }
+  up_ = up;
+}
+
 void Link::on_event(std::uint32_t) {
+  // A link-down flush can orphan delivery events: fire with nothing in
+  // flight, or before the (later-arriving) new head is actually due.
+  if (inflight_.empty() || inflight_.front().first > eq_.now()) return;
   // Latency is constant, so the head is always the packet due now.
   auto [exit, p] = std::move(inflight_.front());
   inflight_.pop_front();

@@ -29,12 +29,22 @@ class Link final : public PacketSink, public EventHandler {
   Time latency() const { return latency_; }
   void set_latency(Time latency) { latency_ = latency; }
 
-  /// Take the link down (packets entering a down link are dropped) or back up.
-  void set_up(bool up) { up_ = up; }
+  /// Take the link down or back up. Going down drops everything: packets
+  /// entering a down link are dropped at ingress, and packets already in
+  /// flight are flushed and counted in `dropped()` — a severed wire does not
+  /// deliver its tail.
+  void set_up(bool up);
   bool up() const { return up_; }
 
   /// Attach a stochastic loss model (evaluated per packet at ingress).
   void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
+  /// Replace the loss model, returning the displaced one (fault injection
+  /// restores the original after a transient loss spike).
+  std::unique_ptr<LossModel> swap_loss_model(std::unique_ptr<LossModel> model) {
+    std::swap(loss_, model);
+    return model;
+  }
+  const LossModel* loss_model() const { return loss_.get(); }
 
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }

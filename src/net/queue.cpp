@@ -34,6 +34,7 @@ std::int64_t Queue::phantom_occupancy(Time now) const {
 }
 
 bool Queue::should_mark(std::int64_t occupancy_after, Time now) {
+  if (force_ecn_) return true;  // gray failure: marking stuck on
   double p = 0.0;
   if (cfg_.red.enabled) p = std::max(p, red_probability(cfg_.red, occupancy_after));
   if (cfg_.phantom.enabled) {

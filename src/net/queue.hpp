@@ -103,6 +103,11 @@ class Queue final : public PacketSink, public EventHandler {
   void set_qcn_hook(std::function<void(const Packet&)> hook) { qcn_hook_ = std::move(hook); }
   std::uint64_t qcn_notifications() const { return qcn_sent_; }
 
+  /// Gray-failure injection: a broken port that marks every ECN-capable
+  /// packet CE regardless of occupancy (fault-plan `ecn-stuck`).
+  void set_force_ecn(bool forced) { force_ecn_ = forced; }
+  bool force_ecn() const { return force_ecn_; }
+
  private:
   bool should_mark(std::int64_t occupancy_after, Time now);
   void start_service();
@@ -130,6 +135,7 @@ class Queue final : public PacketSink, public EventHandler {
   std::uint64_t bytes_forwarded_ = 0;
   std::uint64_t ecn_marked_ = 0;
   std::int64_t max_occupancy_ = 0;
+  bool force_ecn_ = false;
   std::function<void(const Packet&)> drop_hook_;
   std::function<void(const Packet&)> qcn_hook_;
   Time last_qcn_ = -1;

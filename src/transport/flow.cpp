@@ -334,6 +334,10 @@ void FlowSender::complete() {
   done_ = true;
   fct_ = eq_.now() - params_.start_time;
   rto_timer_.cancel();
+  // Shards still in kLost were never retransmitted, yet every block is
+  // decodable: parity masked those losses.
+  for (const PktState s : state_)
+    if (s == PktState::kLost) ++fec_masked_;
   if (on_complete_) {
     FlowResult r;
     r.id = params_.id;
@@ -346,6 +350,7 @@ void FlowSender::complete() {
     r.packets_sent = packets_sent_;
     r.retransmits = retransmits_;
     r.nacks = nacks_received_;
+    r.fec_masked = fec_masked_;
     on_complete_(r);
   }
 }

@@ -99,6 +99,9 @@ struct FlowResult {
   std::uint64_t packets_sent = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t nacks = 0;
+  /// Shards still marked lost when the message completed: losses the
+  /// erasure code masked, sparing a retransmission (0 for non-EC flows).
+  std::uint64_t fec_masked = 0;
 };
 
 class FlowReceiver final : public PacketSink, public EventHandler {
@@ -173,6 +176,10 @@ class FlowSender final : public PacketSink, public EventHandler {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t nacks_received() const { return nacks_received_; }
+  /// Losses the erasure code absorbed: shards still marked lost at
+  /// completion (their blocks decoded from parity, so no retransmission
+  /// was ever needed). 0 until the flow completes, and for non-EC flows.
+  std::uint64_t fec_masked() const { return fec_masked_; }
   std::int64_t bytes_in_flight() const { return bytes_in_flight_; }
   std::uint64_t total_packets() const { return frame_.total_packets(); }
 
@@ -236,6 +243,7 @@ class FlowSender final : public PacketSink, public EventHandler {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t nacks_received_ = 0;
+  std::uint64_t fec_masked_ = 0;
 };
 
 /// Convenience bundle: constructs matching sender/receiver and registers

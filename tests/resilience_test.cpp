@@ -1,6 +1,7 @@
 // Loss-resilience machinery tests: packet trimming + control-lane priority,
 // phantom occupancy caps, burst-loss calibration, trim-NACK fast recovery,
-// expiry-based tail-loss recovery, and RTO escalation on ACK silence.
+// expiry-based tail-loss recovery, RTO escalation on ACK silence,
+// Gilbert–Elliott stationary-rate convergence, and fault-plan determinism.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -8,6 +9,7 @@
 #include "core/experiment.hpp"
 #include "net/loss.hpp"
 #include "net/queue.hpp"
+#include "stats/resilience.hpp"
 #include "transport/unocc.hpp"
 
 namespace uno {
@@ -181,6 +183,28 @@ TEST(BurstLoss, MatchesTable1Setup1Ratios) {
   EXPECT_NEAR(static_cast<double>(c3) / static_cast<double>(c1), 0.053, 0.05);
 }
 
+TEST(GilbertElliottLoss, ConvergesToStationaryRate) {
+  // Analytic check: the empirical drop rate must converge to the chain's
+  // stationary rate  pi_bad * loss_bad + pi_good * loss_good  with
+  // pi_bad = g2b / (g2b + b2g). Probabilities are scaled up from the
+  // Table-1 fits so a few million samples give a tight estimate.
+  GilbertElliottLoss::Params p;
+  p.p_good_to_bad = 2e-3;
+  p.p_bad_to_good = 0.25;
+  p.loss_good = 1e-4;
+  p.loss_bad = 0.5;
+  const double pi_bad = p.p_good_to_bad / (p.p_good_to_bad + p.p_bad_to_good);
+  const double expected = pi_bad * p.loss_bad + (1.0 - pi_bad) * p.loss_good;
+
+  GilbertElliottLoss model(p, Rng(11));
+  const int n = 4'000'000;
+  std::uint64_t drops = 0;
+  for (int i = 0; i < n; ++i)
+    if (model.should_drop(0)) ++drops;
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_NEAR(rate, expected, 0.1 * expected);
+}
+
 TEST(BurstLoss, DropsAreConsecutive) {
   BurstLoss::Params p;
   p.event_rate = 0.01;
@@ -287,6 +311,52 @@ TEST(Recovery, QaNeedsConsecutiveStarvedWindows) {
   ack(60 * kMicrosecond, 100);
   ack(75 * kMicrosecond, 100);
   EXPECT_EQ(cc.qa_events(), 1u);
+}
+
+// --- fault-plan determinism --------------------------------------------------
+
+std::vector<FlowResult> run_faulted_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  cfg.scheme = SchemeSpec::uno();
+  cfg.seed = seed;
+  std::string err;
+  const bool ok = FaultPlan::parse(
+      "0us loss border:* model=ge scale=100;"
+      "1ms flap border:0 period=400us duty=0.5 until=6ms;"
+      "2ms latency border:1 factor=3 until=5ms",
+      &cfg.faults, &err);
+  EXPECT_TRUE(ok) << err;
+  Experiment ex(cfg);
+  for (int f = 0; f < 6; ++f) ex.spawn({f, 16 + f, 1 << 20, 0, true});
+  ResilienceTracker tracker(ex.eq(), 100 * kMicrosecond);
+  for (std::size_t i = 0; i < ex.flows_spawned(); ++i) tracker.watch(&ex.sender(i));
+  tracker.note_fault(ex.fault_injector()->first_onset());
+  tracker.start();
+  ex.run_to_completion(2 * kSecond);
+  tracker.stop();
+  return ex.fct().results();
+}
+
+TEST(FaultPlanDeterminism, IdenticalSeedAndPlanBitExact) {
+  const auto a = run_faulted_scenario(7);
+  const auto b = run_faulted_scenario(7);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].completion_time, b[i].completion_time) << "flow " << i;
+    EXPECT_EQ(a[i].retransmits, b[i].retransmits) << "flow " << i;
+    EXPECT_EQ(a[i].fec_masked, b[i].fec_masked) << "flow " << i;
+  }
+}
+
+TEST(FaultPlanDeterminism, DifferentSeedsDiffer) {
+  const auto a = run_faulted_scenario(7);
+  const auto c = run_faulted_scenario(8);
+  bool any_diff = a.size() != c.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i)
+    any_diff = a[i].completion_time != c[i].completion_time;
+  EXPECT_TRUE(any_diff);
 }
 
 }  // namespace

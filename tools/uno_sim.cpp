@@ -7,14 +7,19 @@
 //   uno_sim --scheme gemini --workload incast --flows 8 --size-mb 16
 //   uno_sim --scheme mprdma+bbr --workload permutation --size-mb 4
 //   uno_sim --scheme uno --workload poisson --rtt-ratio 512 --fail-links 2
+//   uno_sim --scheme uno --fault "2ms down border:0"
+//   uno_sim --scheme uno --fault "1ms flap border:1 period=500us duty=0.5"
 //
 // Run with --help for the full flag list.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "faults/plan.hpp"
+#include "stats/resilience.hpp"
 #include "stats/summary.hpp"
 #include "workload/cdf.hpp"
 #include "workload/traffic.hpp"
@@ -94,6 +99,12 @@ void usage() {
       "  --dcs N            datacenters (full border mesh)       [2]\n"
       "  --cross-links N    WAN links between the borders        [8]\n"
       "  --fail-links N     border links to fail at t=0          [0]\n"
+      "  --fault SPEC       fault plan: ';'-separated clauses, e.g.\n"
+      "                     \"2ms down border:0\" or\n"
+      "                     \"1ms flap border:1 period=500us duty=0.5\"\n"
+      "                     kinds: down|up|flap|latency|loss|ecn-stuck;\n"
+      "                     targets: border:N | border:* | name glob\n"
+      "  --fault-sample-us F  resilience goodput sample period   [250]\n"
       "  --loss-scale F     Table-1 burst loss amplification     [0]\n"
       "  --seed N           RNG seed                             [1]\n"
       "  --deadline-ms F    simulation deadline                  [1000]\n"
@@ -126,8 +137,8 @@ int main(int argc, char** argv) {
   }
   if (!flags.validate({"scheme", "workload", "load", "duration-ms", "active-hosts", "flows",
                        "size-mb", "size-scale", "rtt-ratio", "k", "cross-links",
-                       "fail-links", "loss-scale", "seed", "deadline-ms", "queues", "trace", "dcs",
-                       "help"})) {
+                       "fail-links", "fault", "fault-sample-us", "loss-scale", "seed",
+                       "deadline-ms", "queues", "trace", "dcs", "help"})) {
     usage();
     return 2;
   }
@@ -147,12 +158,26 @@ int main(int argc, char** argv) {
     cfg.uno.inter_rtt = static_cast<Time>(flags.num("rtt-ratio", 143) *
                                           static_cast<double>(cfg.uno.intra_rtt));
 
+  // --fail-links is sugar for a permanent down event at t=0 on each link.
+  const int fails = std::min(static_cast<int>(flags.num("fail-links", 0)),
+                             cfg.uno.cross_links);
+  cfg.faults = FaultPlan::fail_links(fails);
+  if (flags.has("fault")) {
+    std::string err;
+    if (!FaultPlan::parse(flags.str("fault", ""), &cfg.faults, &err)) {
+      std::fprintf(stderr, "bad --fault: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   Experiment ex(cfg);
   const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
 
-  const int fails = static_cast<int>(flags.num("fail-links", 0));
-  for (int j = 0; j < fails && j < ex.topo().cross_link_count(); ++j)
-    ex.topo().cross_link(0, 1, j).set_up(false);
+  if (ex.fault_injector() && !ex.fault_injector()->unmatched().empty()) {
+    for (const std::string& t : ex.fault_injector()->unmatched())
+      std::fprintf(stderr, "fault target matched nothing: %s\n", t.c_str());
+    return 2;
+  }
   const double loss_scale = flags.num("loss-scale", 0);
   if (loss_scale > 0) {
     BurstLoss::Params p = BurstLoss::table1_setup1();
@@ -199,8 +224,24 @@ int main(int argc, char** argv) {
               cfg.scheme.name.c_str(), workload.c_str(), specs.size(), hosts.total(),
               to_milliseconds(cfg.uno.inter_rtt));
   ex.spawn_all(specs);
+
+  // With a fault plan active, track recovery: goodput per flow, sampled
+  // periodically, with the pre-fault baseline snapshotted at the first
+  // disruptive event.
+  std::unique_ptr<ResilienceTracker> tracker;
+  if (ex.fault_injector()) {
+    const Time period =
+        static_cast<Time>(flags.num("fault-sample-us", 250) * kMicrosecond);
+    tracker = std::make_unique<ResilienceTracker>(ex.eq(), period);
+    for (std::size_t i = 0; i < ex.flows_spawned(); ++i) tracker->watch(&ex.sender(i));
+    const Time onset = ex.fault_injector()->first_onset();
+    if (onset != kTimeInfinity) tracker->note_fault(onset);
+    tracker->start();
+  }
+
   const Time deadline = static_cast<Time>(flags.num("deadline-ms", 1000) * kMillisecond);
   const bool done = ex.run_to_completion(deadline);
+  if (tracker) tracker->stop();
 
   Table t({"class", "count", "mean us", "p50 us", "p99 us", "max us", "mean slowdown"});
   for (auto [name, cls] :
@@ -217,6 +258,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ex.topo().total_drops()),
               static_cast<unsigned long long>(ex.topo().total_trims()),
               to_milliseconds(ex.eq().now()));
+
+  if (tracker) {
+    const ResilienceSummary rs = tracker->summarize();
+    std::printf("faults: events=%zu actions=%llu onset=%.3fms\n", cfg.faults.size(),
+                static_cast<unsigned long long>(ex.fault_injector()->actions()),
+                to_milliseconds(tracker->fault_onset()));
+    std::printf(
+        "resilience: affected=%zu recovered=%zu mean_recovery_us=%.1f "
+        "max_recovery_us=%.1f reroutes=%llu retransmits=%llu fec_masked=%llu\n",
+        rs.flows_affected, rs.flows_recovered, rs.mean_recovery_us, rs.max_recovery_us,
+        static_cast<unsigned long long>(rs.reroutes),
+        static_cast<unsigned long long>(rs.retransmits),
+        static_cast<unsigned long long>(rs.fec_masked));
+  }
 
   if (flags.has("queues")) {
     auto qs = ex.topo().all_queues();

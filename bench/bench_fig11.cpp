@@ -7,6 +7,7 @@
 // out Uno at tiny ratios (phantom-queue headroom tax), but as the gap
 // approaches real WAN ratios Uno wins by growing factors.
 #include <cstdio>
+#include <iterator>
 
 #include "bench/common.hpp"
 #include "workload/cdf.hpp"
@@ -23,32 +24,54 @@ int main() {
 
   const SchemeSpec schemes[] = {SchemeSpec::uno(), SchemeSpec::gemini(),
                                 SchemeSpec::mprdma_bbr()};
-  for (const int ratio : {8, 32, 128, 512}) {
+  const int ratios[] = {8, 32, 128, 512};
+  constexpr std::size_t kSchemes = std::size(schemes);
+
+  // Every (ratio, scheme) cell is an independent simulation, so the grid
+  // runs through parallel_map (UNO_BENCH_JOBS workers); results come back
+  // in submission order, keeping the printed tables byte-identical to a
+  // sequential run.
+  struct Cell {
+    std::string scheme;
+    FctSummary all, inter;
+    bool done = false;
+  };
+  const auto cells = parallel_map(
+      bench::jobs(), std::size(ratios) * kSchemes, [&](std::size_t idx) {
+        const int ratio = ratios[idx / kSchemes];
+        const SchemeSpec& scheme = schemes[idx % kSchemes];
+        const Time inter_rtt = ratio * 14 * kMicrosecond;
+        ExperimentConfig cfg;
+        cfg.scheme = scheme;
+        cfg.seed = bench::seed();
+        cfg.uno.inter_rtt = inter_rtt;
+        Experiment ex(cfg);
+        PoissonConfig pc;
+        pc.load = 0.4;
+        pc.duration = duration;
+        pc.active_hosts = active_hosts;
+        pc.seed = bench::seed();
+        auto specs = make_poisson_mixed(bench::hosts_of(ex), intra_sizes, inter_sizes, pc);
+        ex.spawn_all(specs);
+        Cell c;
+        c.scheme = scheme.name;
+        c.done = ex.run_to_completion(kSecond + 4 * inter_rtt * 100);
+        c.all = ex.fct().summarize();
+        c.inter = ex.fct().summarize(FctCollector::Class::kInter);
+        return c;
+      });
+
+  for (std::size_t r = 0; r < std::size(ratios); ++r) {
     Table t({"scheme", "mean slowdown", "p99 slowdown", "inter p99 slowdown", "done"});
-    const Time inter_rtt = ratio * 14 * kMicrosecond;
-    for (const SchemeSpec& scheme : schemes) {
-      ExperimentConfig cfg;
-      cfg.scheme = scheme;
-      cfg.seed = bench::seed();
-      cfg.uno.inter_rtt = inter_rtt;
-      Experiment ex(cfg);
-      PoissonConfig pc;
-      pc.load = 0.4;
-      pc.duration = duration;
-      pc.active_hosts = active_hosts;
-      pc.seed = bench::seed();
-      auto specs = make_poisson_mixed(bench::hosts_of(ex), intra_sizes, inter_sizes, pc);
-      ex.spawn_all(specs);
-      const bool done = ex.run_to_completion(kSecond + 4 * inter_rtt * 100);
-      const auto all = ex.fct().summarize();
-      const auto inter = ex.fct().summarize(FctCollector::Class::kInter);
-      t.add_row({scheme.name, Table::fmt(all.mean_slowdown, 2),
-                 Table::fmt(all.p99_slowdown, 2), Table::fmt(inter.p99_slowdown, 2),
-                 done ? "yes" : "no"});
+    for (std::size_t s = 0; s < kSchemes; ++s) {
+      const Cell& c = cells[r * kSchemes + s];
+      t.add_row({c.scheme, Table::fmt(c.all.mean_slowdown, 2),
+                 Table::fmt(c.all.p99_slowdown, 2), Table::fmt(c.inter.p99_slowdown, 2),
+                 c.done ? "yes" : "no"});
     }
     char title[64];
     std::snprintf(title, sizeof(title), "inter/intra RTT ratio = %d (inter RTT %.2f ms)",
-                  ratio, to_milliseconds(inter_rtt));
+                  ratios[r], to_milliseconds(ratios[r] * 14 * kMicrosecond));
     t.print(title);
   }
   return 0;

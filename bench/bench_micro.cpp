@@ -70,7 +70,7 @@ BENCHMARK(BM_RsReconstructTwoErasures);
 class Ticker : public EventHandler {
  public:
   explicit Ticker(EventQueue& eq) : eq_(eq) {}
-  void on_event(std::uint32_t) override { eq_.schedule_in(1000, this); }
+  void on_event(std::uint64_t) override { eq_.schedule_in(1000, this); }
 
  private:
   EventQueue& eq_;

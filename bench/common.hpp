@@ -5,6 +5,7 @@
 // Environment knobs:
 //   UNO_BENCH_SCALE   multiplies workload sizes/durations (default 1.0)
 //   UNO_BENCH_SEED    RNG seed (default 1)
+//   UNO_BENCH_JOBS    worker threads for independent sweep cells (default 1)
 #pragma once
 
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "stats/csv.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
@@ -41,6 +43,18 @@ inline std::uint64_t seed() {
     return env ? std::strtoull(env, nullptr, 10) : 1ULL;
   }();
   return s;
+}
+
+/// Worker threads for benches whose cells are independent simulations
+/// (each cell owns its Experiment, so cells parallelize trivially via
+/// uno::parallel_map; output order stays deterministic).
+inline int jobs() {
+  static const int j = [] {
+    const char* env = std::getenv("UNO_BENCH_JOBS");
+    const int v = env ? std::atoi(env) : 1;
+    return v > 0 ? v : 1;
+  }();
+  return j;
 }
 
 /// Bytes scaled by UNO_BENCH_SCALE (at least one MTU).

@@ -94,7 +94,7 @@ void QcnDispatcher::notify(const Packet& p) {
   if (pending_.size() == 1) eq_.schedule_at(pending_.front().due, this);
 }
 
-void QcnDispatcher::on_event(std::uint32_t) {
+void QcnDispatcher::on_event(std::uint64_t) {
   const PendingQcn q = pending_.front();
   pending_.pop_front();
   Packet p;

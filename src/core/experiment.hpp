@@ -41,7 +41,7 @@ class QcnDispatcher final : public EventHandler {
 
   /// Queue hook: schedule a kQcn packet to the offending sender.
   void notify(const Packet& p);
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
   std::uint64_t delivered() const { return delivered_; }
 
  private:

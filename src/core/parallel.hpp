@@ -1,0 +1,44 @@
+// Thread-pool driver for embarrassingly parallel simulation batches.
+//
+// A sweep (seeds, load points, RTT ratios, ...) is a list of independent
+// simulations: each job owns its Experiment — and therefore its EventQueue
+// and Rng streams — so jobs never share mutable state and the per-job result
+// is bit-identical whether it ran alone or next to seven siblings. The
+// driver only decides *where* each job runs; results are always collected in
+// submission (index) order, so output is deterministic regardless of worker
+// interleaving and `jobs=1` vs `jobs=N` produce identical merged results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace uno {
+
+/// Clamp a --jobs style request: 0 (or negative) means "one per core"
+/// (std::thread::hardware_concurrency, at least 1).
+int resolve_jobs(int requested);
+
+/// Run `fn(i)` for every i in [0, n) on up to `jobs` worker threads.
+///
+/// `fn` must be self-contained per index (no shared mutable state except
+/// what it synchronizes itself; writing to distinct slots of a pre-sized
+/// vector is fine). With jobs <= 1 everything runs inline on the caller's
+/// thread. Workers pull indices from a shared atomic counter, so long and
+/// short jobs interleave without static partitioning imbalance. If any
+/// invocation throws, the first exception (by completion order) is
+/// rethrown on the caller's thread after all workers finish.
+void parallel_for(int jobs, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Map `fn` over [0, n) and collect the results in index order.
+template <typename Fn>
+auto parallel_map(int jobs, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace uno

@@ -1,0 +1,69 @@
+// Contiguous power-of-two ring buffer for trivially copyable payloads.
+//
+// Queues and links push/pop one packet per simulated serialization or
+// propagation event, so the FIFO is on the per-packet hot path. std::deque
+// pays block-map indirection and boundary branches on every access; this
+// ring is a single flat array with mask-wrapped indices, and because the
+// element type is trivially copyable a pop is just an index bump (no
+// destructor, no slot reset — stale bytes are unreachable and harmless).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace uno {
+
+template <typename T>
+class PodRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PodRing skips destruction/reset of popped slots");
+
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+
+  T& front() { return buf_[head_ & mask_]; }
+  const T& front() const { return buf_[head_ & mask_]; }
+
+  /// i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+  void push_back(const T& v) {
+    if (size() == buf_.size()) grow();
+    buf_[tail_++ & mask_] = v;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    if (size() == buf_.size()) grow();
+    buf_[tail_++ & mask_] = T{static_cast<Args&&>(args)...};
+  }
+
+  void pop_front() { ++head_; }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  void grow() {
+    const std::size_t n = size();
+    std::vector<T> next(buf_.empty() ? kInitialCapacity : 2 * buf_.size());
+    for (std::size_t i = 0; i < n; ++i) next[i] = buf_[(head_ + i) & mask_];
+    buf_.swap(next);
+    mask_ = buf_.size() - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;  // power of two
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Free-running indices; unsigned wraparound keeps tail_ - head_ == size
+  // even across 2^64 pushes, and masking picks the slot.
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace uno

@@ -70,7 +70,7 @@ void FaultInjector::set_links_up(std::size_t i, bool up) {
   }
 }
 
-void FaultInjector::on_event(std::uint32_t tag) {
+void FaultInjector::on_event(std::uint64_t tag) {
   const std::size_t i = tag >> 1;
   assert(i < plan_.events.size());
   if ((tag & 1) == kPhaseApply)

@@ -27,7 +27,7 @@ class FaultInjector final : public EventHandler {
   /// nothing are recorded (see `unmatched()`) but otherwise ignored.
   FaultInjector(EventQueue& eq, InterDcTopology& topo, FaultPlan plan, std::uint64_t seed);
 
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   const FaultPlan& plan() const { return plan_; }
   /// Earliest disruptive event time (kTimeInfinity for repair-only plans).

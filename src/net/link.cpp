@@ -23,16 +23,22 @@ void Link::set_up(bool up) {
   up_ = up;
 }
 
-void Link::on_event(std::uint32_t) {
+void Link::on_event(std::uint64_t) {
   // A link-down flush can orphan delivery events: fire with nothing in
   // flight, or before the (later-arriving) new head is actually due.
-  if (inflight_.empty() || inflight_.front().first > eq_.now()) return;
-  // Latency is constant, so the head is always the packet due now.
-  auto [exit, p] = std::move(inflight_.front());
-  inflight_.pop_front();
+  if (inflight_.empty() || inflight_.front().due > eq_.now()) return;
+  // Latency is constant, so the head is always the packet due now. Forward
+  // straight out of the ring slot (one move, not two); the slot stays until
+  // the pop below, which also means a synchronous push during forward() sees
+  // size >= 2 and never double-schedules the delivery event.
   ++delivered_;
-  forward(std::move(p));
-  if (!inflight_.empty()) eq_.schedule_at(inflight_.front().first, this);
+  // On long-latency links the ring spans a full BDP, so the head slot was
+  // written one `latency_` ago and is cold; start pulling the *next* head in
+  // while this delivery's forward chain executes.
+  __builtin_prefetch(&inflight_[1]);
+  forward(std::move(inflight_.front().p));
+  inflight_.pop_front();
+  if (!inflight_.empty()) eq_.schedule_at(inflight_.front().due, this);
 }
 
 }  // namespace uno

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 
+#include "core/ring.hpp"
 #include "net/loss.hpp"
 #include "net/packet.hpp"
 #include "sim/event.hpp"
@@ -23,7 +23,7 @@ class Link final : public PacketSink, public EventHandler {
       : eq_(eq), name_(std::move(name)), latency_(latency) {}
 
   void receive(Packet p) override;
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   const std::string& name() const override { return name_; }
   Time latency() const { return latency_; }
@@ -55,7 +55,11 @@ class Link final : public PacketSink, public EventHandler {
   Time latency_;
   bool up_ = true;
   std::unique_ptr<LossModel> loss_;
-  std::deque<std::pair<Time, Packet>> inflight_;
+  struct InFlight {
+    Time due = 0;
+    Packet p;
+  };
+  PodRing<InFlight> inflight_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };

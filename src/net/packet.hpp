@@ -49,47 +49,47 @@ enum class PacketType : std::uint8_t {
 inline constexpr std::uint32_t kAckSize = 64;   // bytes per ACK/NACK
 inline constexpr std::uint32_t kTrimSize = 64;  // header left after trimming
 
+/// Fields are ordered by alignment (8-byte words, then 4/2/1-byte members)
+/// rather than by topic: packets are moved by value on every hop, so the
+/// struct is kept free of padding holes (88 bytes instead of the 112 a
+/// topic-grouped layout costs). The comment groups below still mark the
+/// logical clusters.
 struct Packet {
-  // --- identity -----------------------------------------------------------
-  std::uint64_t flow_id = 0;
+  // --- 8-byte members -------------------------------------------------------
+  std::uint64_t flow_id = 0;  // identity
   std::uint64_t seq = 0;      // data: packet sequence number within the flow
-  std::uint32_t size = 0;     // bytes on the wire
-  PacketType type = PacketType::kData;
-  bool retransmit = false;
-  std::int32_t src_host = -1;  // sending host (QCN feedback addressing)
-
-  // --- ECN / trimming -------------------------------------------------------
-  bool ecn_capable = true;
-  bool ecn_ce = false;   // congestion-experienced mark (set by queues)
-  bool trimmed = false;  // payload discarded by an overflowing queue
-
-  // --- timestamps (echoed back in ACKs for RTT measurement) ---------------
-  Time sent_time = 0;
-
-  // --- load balancing ------------------------------------------------------
-  std::uint16_t entropy = 0;  // path index selected by the load balancer
-  std::uint8_t subflow = 0;   // UnoLB subflow slot this packet was sent on
-
-  // --- erasure-coding framing ----------------------------------------------
-  std::uint32_t block_id = 0;  // which EC block the packet belongs to
-  std::uint8_t shard = 0;      // index within the block [0, n)
-  bool is_parity = false;
+  Time sent_time = 0;         // sender timestamp, echoed back in ACKs for RTT
   /// Real shard bytes when payload verification is on (see fec/payload.hpp).
   /// Owned by the sender's PayloadStore, which outlives every packet of the
   /// flow; trimming nulls it (the payload is what trimming discards).
   const std::vector<std::uint8_t>* payload = nullptr;
+  std::uint64_t ack_seq = 0;   // ACK: sequence number being acknowledged
+  Time echo_sent_time = 0;     // ACK: sender timestamp echoed back
+  const Route* route = nullptr;  // source routing
 
-  // --- ACK / NACK payload ---------------------------------------------------
-  std::uint64_t ack_seq = 0;       // sequence number being acknowledged
-  bool ecn_echo = false;           // CE state of the acked data packet
-  Time echo_sent_time = 0;         // sender timestamp echoed back
-  std::uint32_t nack_block = 0;    // NACK: block to retransmit
-  std::uint8_t ack_subflow = 0;    // subflow of the acked data packet
+  // --- 4-byte members -------------------------------------------------------
+  std::uint32_t size = 0;        // bytes on the wire
+  std::int32_t src_host = -1;    // sending host (QCN feedback addressing)
+  std::uint32_t block_id = 0;    // EC framing: which block the packet belongs to
+  std::uint32_t nack_block = 0;  // NACK: block to retransmit
 
-  // --- source routing --------------------------------------------------------
-  const Route* route = nullptr;
-  std::uint16_t hop = 0;
+  // --- 2-byte members -------------------------------------------------------
+  std::uint16_t entropy = 0;  // path index selected by the load balancer
+  std::uint16_t hop = 0;      // next index into route->hops
+
+  // --- 1-byte members -------------------------------------------------------
+  PacketType type = PacketType::kData;
+  bool retransmit = false;
+  bool ecn_capable = true;
+  bool ecn_ce = false;          // congestion-experienced mark (set by queues)
+  bool trimmed = false;         // payload discarded by an overflowing queue
+  std::uint8_t subflow = 0;     // UnoLB subflow slot this packet was sent on
+  std::uint8_t shard = 0;       // EC framing: index within the block [0, n)
+  bool is_parity = false;
+  bool ecn_echo = false;        // ACK: CE state of the acked data packet
+  std::uint8_t ack_subflow = 0; // ACK: subflow of the acked data packet
 };
+static_assert(sizeof(Packet) == 88, "keep the hop-to-hop payload free of padding holes");
 
 /// Hand the packet to its next hop. The caller must ensure the route has
 /// remaining hops (endpoints never call this).

@@ -21,6 +21,7 @@ Queue::Queue(EventQueue& eq, std::string name, const QueueConfig& cfg, Rng rng)
   assert(cfg_.capacity_bytes > 0);
   phantom_rate_ = static_cast<Bandwidth>(static_cast<double>(cfg_.rate) *
                                          cfg_.phantom.drain_fraction);
+  if ((8 * kSecond) % cfg_.rate == 0) ser_ps_per_byte_ = (8 * kSecond) / cfg_.rate;
 }
 
 std::int64_t Queue::phantom_occupancy(Time now) const {
@@ -109,29 +110,33 @@ void Queue::start_service() {
   busy_ = true;
   serving_ctrl_ = !ctrl_q_.empty();
   const Packet& head = serving_ctrl_ ? ctrl_q_.front() : q_.front();
-  eq_.schedule_in(serialization_time(head.size, cfg_.rate), this);
+  const Time st = ser_ps_per_byte_ ? head.size * ser_ps_per_byte_
+                                   : serialization_time(head.size, cfg_.rate);
+  eq_.schedule_in(st, this);
 }
 
-void Queue::on_event(std::uint32_t) {
+void Queue::on_event(std::uint64_t) {
   assert(busy_ && (!q_.empty() || !ctrl_q_.empty()));
   // Dequeue from the lane whose head we committed to serializing; a control
   // packet arriving *during* a data packet's serialization does not preempt
-  // it, it just goes first on the next service round.
-  Packet p;
-  if (serving_ctrl_) {
-    p = std::move(ctrl_q_.front());
-    ctrl_q_.pop_front();
-    ctrl_occupancy_ -= p.size;
-  } else {
-    p = std::move(q_.front());
-    q_.pop_front();
-    occupancy_ -= p.size;
-  }
+  // it, it just goes first on the next service round. The head is forwarded
+  // straight out of its ring slot (one move, not two); busy_ stays set until
+  // after the pop so a synchronous re-entrant receive() cannot start service
+  // while the stale head still occupies the lane.
+  PodRing<Packet>& lane = serving_ctrl_ ? ctrl_q_ : q_;
+  Packet& head = lane.front();
+  (serving_ctrl_ ? ctrl_occupancy_ : occupancy_) -= head.size;
   ++forwarded_;
-  bytes_forwarded_ += p.size;
+  bytes_forwarded_ += head.size;
+  // pop_front only bumps the ring's head index, so `head` stays valid (and
+  // untouched — nothing pushes into the lane before forward() below) while
+  // start_service() sees the *next* packet as the new front. Keeping
+  // forward() last preserves the event-seq assignment order of the original
+  // two-move implementation, so same-timestamp ties dispatch identically.
+  lane.pop_front();
   busy_ = false;
   if (!q_.empty() || !ctrl_q_.empty()) start_service();
-  forward(std::move(p));
+  forward(std::move(head));
 }
 
 }  // namespace uno

@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
+#include "core/ring.hpp"
 #include "net/packet.hpp"
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
@@ -74,7 +74,7 @@ class Queue final : public PacketSink, public EventHandler {
   Queue(EventQueue& eq, std::string name, const QueueConfig& cfg, Rng rng = Rng(7));
 
   void receive(Packet p) override;
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   const std::string& name() const override { return name_; }
 
@@ -116,9 +116,14 @@ class Queue final : public PacketSink, public EventHandler {
   std::string name_;
   QueueConfig cfg_;
   Rng rng_;
+  /// Exact picoseconds-per-byte when 8*kSecond divides the rate evenly
+  /// (every realistic rate: 10G=800, 100G=80, 400G=20, 1.6T=5), else 0 and
+  /// service falls back to the 128-bit serialization_time. Avoids a 128-bit
+  /// division per served packet on the hot path.
+  Time ser_ps_per_byte_ = 0;
 
-  std::deque<Packet> q_;       // data packets
-  std::deque<Packet> ctrl_q_;  // control + trimmed headers (strict priority)
+  PodRing<Packet> q_;       // data packets
+  PodRing<Packet> ctrl_q_;  // control + trimmed headers (strict priority)
   std::int64_t occupancy_ = 0;       // data bytes queued
   std::int64_t ctrl_occupancy_ = 0;  // control bytes queued
   bool busy_ = false;

@@ -1,23 +1,19 @@
 #include "sim/event.hpp"
 
-#include <cassert>
-
 namespace uno {
-
-void EventQueue::schedule_at(Time t, EventHandler* handler, std::uint32_t tag) {
-  assert(handler != nullptr);
-  assert(t >= now_ && "cannot schedule into the past");
-  heap_.push(Entry{t, next_seq_++, handler, tag, handler->liveness()});
-}
 
 std::uint64_t EventQueue::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().t <= deadline) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (e.alive.expired()) continue;  // handler was destroyed; stale wakeup
-    now_ = e.t;
-    e.handler->on_event(e.tag);
+  const detail::HandlerRegistry* const reg = registry_.get();
+  while (!heap_.empty() && key_time(heap_[0]) <= deadline) {
+    const Entry e = heap_[0];
+    pop_min();
+    const detail::HandlerRegistry::Slot& s = reg->slots[e.slot];
+    if (s.generation != e.gen) continue;  // handler was destroyed; stale wakeup
+    EventHandler* h = s.handler;
+    now_ = key_time(e);
+    if (!heap_.empty()) __builtin_prefetch(&reg->slots[heap_[0].slot]);
+    h->on_event(e.tag);
     ++n;
   }
   // Advance the clock to the deadline even if nothing fired there, so
@@ -25,6 +21,25 @@ std::uint64_t EventQueue::run_until(Time deadline) {
   if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
   dispatched_ += n;
   return n;
+}
+
+void EventQueue::compact() {
+  // Keep exactly the entries that could still dispatch: live slot generation
+  // and not reported logically dead by the handler (superseded Timer arms).
+  // {t, seq} is a total order, so the Floyd rebuild preserves fire order.
+  const auto& slots = registry_->slots;
+  std::size_t w = 0;
+  for (const Entry& e : heap_) {
+    const detail::HandlerRegistry::Slot& s = slots[e.slot];
+    if (s.generation != e.gen || s.handler->event_stale(e.tag)) continue;
+    heap_[w++] = e;
+  }
+  compacted_ += heap_.size() - w;
+  heap_.resize(w);
+  if (w > 1)
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down_hole(i, heap_[i]);
+  stale_hint_ = 0;
+  ++compactions_;
 }
 
 }  // namespace uno

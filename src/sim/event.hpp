@@ -1,57 +1,135 @@
-// Discrete-event core: a monotonic clock plus a binary-heap event queue.
+// Discrete-event core: a monotonic clock plus an inline 4-ary heap.
 //
 // Components that need to be woken register as `EventHandler`s and schedule
 // themselves with an integer tag; no per-event allocation happens. Ties in
 // time are broken by insertion order so the simulation is deterministic.
+//
+// Hot-path design (see DESIGN.md §9):
+//  * Liveness is a generation-slot registry, not a weak_ptr: each handler is
+//    lazily assigned a small slot id on first schedule, each heap entry
+//    carries {slot, generation}, and dispatch validates with two plain loads
+//    (generation compare + handler pointer) — no atomics, no allocation.
+//  * The heap is an inline 4-ary array heap of 32-byte POD entries: shallower
+//    than a binary heap and one cache line per sift level.
+//  * Cancelled/superseded Timer deadlines go stale in place (O(1)); the
+//    queue counts them and compacts the heap when stale entries reach half
+//    of it, so rearm/cancel storms (retransmit timers under link flaps)
+//    cannot grow the heap without bound.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace uno {
 
+class EventHandler;
 class EventQueue;
+
+namespace detail {
+
+/// Maps small integer slots to live handlers. Owned (shared) by the queue
+/// and every registered handler, so whichever dies last tears it down.
+/// A slot's generation bumps when its handler is destroyed, invalidating
+/// every heap entry scheduled against the old incarnation.
+struct HandlerRegistry {
+  struct Slot {
+    EventHandler* handler = nullptr;
+    std::uint32_t generation = 0;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_slots;
+
+  std::uint32_t acquire(EventHandler* h) {
+    if (!free_slots.empty()) {
+      const std::uint32_t s = free_slots.back();
+      free_slots.pop_back();
+      slots[s].handler = h;
+      return s;
+    }
+    slots.push_back(Slot{h, 0});
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+
+  void release(std::uint32_t slot) {
+    slots[slot].handler = nullptr;
+    ++slots[slot].generation;  // all pending entries for this slot go stale
+    free_slots.push_back(slot);
+  }
+};
+
+}  // namespace detail
 
 /// Anything that can be woken by the event queue.
 ///
-/// Handlers carry a liveness token: events scheduled against a handler that
-/// has since been destroyed are silently skipped, so tearing down a
-/// component (e.g. a Flow mid-flight) never leaves dangling wakeups.
+/// Handlers are registered with a queue's slot registry on first schedule;
+/// events scheduled against a handler that has since been destroyed are
+/// silently skipped, so tearing down a component (e.g. a Flow mid-flight)
+/// never leaves dangling wakeups.
 class EventHandler {
  public:
-  EventHandler() : liveness_(std::make_shared<char>(0)) {}
-  virtual ~EventHandler() = default;
+  EventHandler() = default;
+  virtual ~EventHandler() {
+    if (registry_) registry_->release(slot_);
+  }
   EventHandler(const EventHandler&) = delete;
   EventHandler& operator=(const EventHandler&) = delete;
 
   /// Called when a scheduled event fires. `tag` is the value passed to
   /// `EventQueue::schedule_*`, letting one handler multiplex several
-  /// logical timers/events.
-  virtual void on_event(std::uint32_t tag) = 0;
+  /// logical timers/events. 64-bit so generation-style tags (see Timer)
+  /// can never wrap within a feasible simulation.
+  virtual void on_event(std::uint64_t tag) = 0;
 
-  const std::shared_ptr<char>& liveness() const { return liveness_; }
+  /// Compaction probe: return true if the entry scheduled with `tag` is
+  /// already logically dead and may be dropped without dispatch (e.g. a
+  /// superseded Timer generation). Must be side-effect free. Only called
+  /// during heap compaction, never on the dispatch path.
+  virtual bool event_stale(std::uint64_t tag) const {
+    (void)tag;
+    return false;
+  }
 
  private:
-  std::shared_ptr<char> liveness_;
+  friend class EventQueue;
+  std::shared_ptr<detail::HandlerRegistry> registry_;
+  std::uint32_t slot_ = 0;
 };
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue() : registry_(std::make_shared<detail::HandlerRegistry>()) {
+    heap_.reserve(1024);  // skip the early growth reallocations
+  }
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   Time now() const { return now_; }
 
-  /// Schedule `handler->on_event(tag)` at absolute time `t` (must be >= now).
-  void schedule_at(Time t, EventHandler* handler, std::uint32_t tag = 0);
+  /// Schedule `handler->on_event(tag)` at absolute time `t`. `t` must be
+  /// >= now(): asserted in debug builds, clamped to now() in release builds
+  /// so a stray past deadline degrades to an immediate event instead of
+  /// silently time-travelling the heap.
+  void schedule_at(Time t, EventHandler* handler, std::uint64_t tag = 0) {
+    assert(handler != nullptr);
+    assert(t >= now_ && "cannot schedule into the past");
+    if (t < now_) {
+      t = now_;
+      ++clamped_;
+    }
+    if (handler->registry_.get() != registry_.get()) bind(handler);
+    const std::uint32_t slot = handler->slot_;
+    heap_.push_back(
+        Entry{make_key(t, next_seq_++), tag, slot, registry_->slots[slot].generation});
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+    sift_up(heap_.size() - 1);
+  }
 
   /// Schedule after a relative delay.
-  void schedule_in(Time delay, EventHandler* handler, std::uint32_t tag = 0) {
+  void schedule_in(Time delay, EventHandler* handler, std::uint64_t tag = 0) {
     schedule_at(now_ + delay, handler, tag);
   }
 
@@ -64,39 +142,139 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  std::size_t peak_pending() const { return peak_pending_; }
   std::uint64_t dispatched() const { return dispatched_; }
 
- private:
-  struct Entry {
-    Time t;
-    std::uint64_t seq;  // insertion order; breaks ties deterministically
-    EventHandler* handler;
-    std::uint32_t tag;
-    std::weak_ptr<char> alive;  // skip dispatch if the handler died
-    bool operator>(const Entry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
-  };
+  /// Stale-entry accounting, used by Timer: each cancel/rearm that strands a
+  /// pending heap entry calls note_stale(); popping such an entry calls
+  /// note_stale_consumed(). When stale entries reach half the heap the queue
+  /// compacts, dropping dead-slot entries and entries whose handler reports
+  /// event_stale().
+  void note_stale() {
+    ++stale_hint_;
+    maybe_compact();
+  }
+  void note_stale_consumed() {
+    if (stale_hint_ > 0) --stale_hint_;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  /// Introspection for tests and perf accounting.
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t compacted_entries() const { return compacted_; }
+  std::uint64_t clamped_schedules() const { return clamped_; }
+  std::size_t stale_hint() const { return stale_hint_; }
+
+ private:
+  /// 32-byte POD heap entry. The heap key packs (time, insertion seq) into
+  /// one 128-bit integer — time in the high 64 bits, sequence in the low —
+  /// so the (t, seq) lexicographic order is a single integer compare
+  /// (branch-predictor friendly in the min-child scans). Simulated time is
+  /// never negative, so unsigned order matches signed order. {t, seq} is a
+  /// total order, so heap rebuilds can never reorder dispatch.
+  struct Entry {
+    unsigned __int128 key;  // (t << 64) | seq
+    std::uint64_t tag;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  static unsigned __int128 make_key(Time t, std::uint64_t seq) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(t)) << 64) | seq;
+  }
+  static Time key_time(const Entry& e) {
+    return static_cast<Time>(static_cast<std::uint64_t>(e.key >> 64));
+  }
+
+  void bind(EventHandler* h) {
+    // Lazy registration; a handler outliving its queue may be re-bound to a
+    // fresh queue, abandoning (= invalidating) anything still pending in
+    // the old one.
+    if (h->registry_) h->registry_->release(h->slot_);
+    h->slot_ = registry_->acquire(h);
+    h->registry_ = registry_;
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t p = (i - 1) >> 2;
+      if (heap_[p].key <= e.key) break;
+      heap_[i] = heap_[p];
+      i = p;
+    }
+    heap_[i] = e;
+  }
+
+  /// Bottom-up ("hole") sift: walk the hole at `i` down the min-child path
+  /// to a leaf without comparing against `e`, then bubble `e` back up. `e`
+  /// is usually one of the latest deadlines (it came off the heap's back),
+  /// so the bubble-up almost always stops immediately — this does ~3
+  /// compares per level instead of 4, and matches libstdc++'s
+  /// __adjust_heap trick that made the old binary heap hard to beat.
+  void sift_down_hole(std::size_t i, Entry e) {  // by value: e may alias heap_[i]
+    const std::size_t n = heap_.size();
+    Entry* const h = heap_.data();
+    std::size_t hole = i;
+    for (;;) {
+      const std::size_t c0 = 4 * hole + 1;
+      if (c0 >= n) break;
+      std::size_t m = c0;
+      const std::size_t end = c0 + 4 < n ? c0 + 4 : n;
+      for (std::size_t c = c0 + 1; c < end; ++c)
+        if (h[c].key < h[m].key) m = c;
+      h[hole] = h[m];
+      hole = m;
+    }
+    while (hole > i) {
+      const std::size_t p = (hole - 1) >> 2;
+      if (e.key >= h[p].key) break;
+      h[hole] = h[p];
+      hole = p;
+    }
+    h[hole] = e;
+  }
+
+  void pop_min() {
+    const Entry back = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down_hole(0, back);
+  }
+
+  void maybe_compact() {
+    if (heap_.size() >= kCompactMinSize && stale_hint_ * 2 >= heap_.size()) compact();
+  }
+  void compact();
+
+  static constexpr std::size_t kCompactMinSize = 64;
+
+  std::shared_ptr<detail::HandlerRegistry> registry_;
+  std::vector<Entry> heap_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::size_t peak_pending_ = 0;
+  std::size_t stale_hint_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compacted_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 /// A cancellable, re-armable one-shot timer built on the event queue.
 ///
-/// Cancellation is lazy: stale heap entries are ignored via a generation
-/// counter, so cancel/rearm are O(1).
+/// Cancellation is lazy: the pending heap entry is superseded via a 64-bit
+/// generation counter carried in the event tag, so cancel/rearm are O(1).
+/// The queue's stale accounting (note_stale / event_stale) lets compaction
+/// physically remove superseded entries when they pile up. The generation
+/// is 64-bit precisely so the tag channel can never wrap: 2^64 rearms is
+/// unreachable (a simulation doing 10^9 rearms/sec would need ~585 years).
 class Timer : public EventHandler {
  public:
   /// `tag` is forwarded to `target->on_event(tag)` when the timer fires.
-  Timer(EventQueue& eq, EventHandler* target, std::uint32_t tag)
+  Timer(EventQueue& eq, EventHandler* target, std::uint64_t tag)
       : eq_(eq), target_(target), tag_(tag) {}
 
   /// (Re)arm to fire at absolute time `t`.
   void arm_at(Time t) {
+    if (armed_) eq_.note_stale();  // the outstanding entry is now superseded
     ++generation_;
     armed_ = true;
     deadline_ = t;
@@ -106,6 +284,7 @@ class Timer : public EventHandler {
   void arm_in(Time delay) { arm_at(eq_.now() + delay); }
 
   void cancel() {
+    if (armed_) eq_.note_stale();
     ++generation_;
     armed_ = false;
   }
@@ -113,17 +292,24 @@ class Timer : public EventHandler {
   bool armed() const { return armed_; }
   Time deadline() const { return deadline_; }
 
-  void on_event(std::uint32_t gen) override {
-    if (gen != generation_ || !armed_) return;  // stale or cancelled
+  void on_event(std::uint64_t gen) override {
+    if (gen != generation_ || !armed_) {  // stale or cancelled
+      eq_.note_stale_consumed();
+      return;
+    }
     armed_ = false;
     target_->on_event(tag_);
+  }
+
+  bool event_stale(std::uint64_t gen) const override {
+    return gen != generation_ || !armed_;
   }
 
  private:
   EventQueue& eq_;
   EventHandler* target_;
-  std::uint32_t tag_;
-  std::uint32_t generation_ = 0;
+  std::uint64_t tag_;
+  std::uint64_t generation_ = 0;
   bool armed_ = false;
   Time deadline_ = 0;
 };

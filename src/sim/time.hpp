@@ -44,6 +44,12 @@ constexpr Time serialization_time(std::int64_t bytes, Bandwidth bw) {
 
 /// Bytes fully drained in interval `dt` at `bw` bits/s (rounded down).
 constexpr std::int64_t bytes_in_interval(Time dt, Bandwidth bw) {
+  // Fast path: when dt * bw fits in 64 bits (every sub-100us observation
+  // interval at realistic rates), the division by the constant 8*kSecond
+  // strength-reduces to a multiply — no __udivti3 on the per-packet
+  // phantom-drain path.
+  std::int64_t num64 = 0;
+  if (!__builtin_mul_overflow(dt, bw, &num64)) return num64 / (8 * kSecond);
   const __int128 num = static_cast<__int128>(dt) * bw;
   return static_cast<std::int64_t>(num / (8 * kSecond));
 }

@@ -25,7 +25,7 @@ void ResilienceTracker::start() {
   eq_.schedule_in(period_, this, kTagSample);
 }
 
-void ResilienceTracker::on_event(std::uint32_t tag) {
+void ResilienceTracker::on_event(std::uint64_t tag) {
   if (tag == kTagSnapshot) {
     snapshot();
     return;

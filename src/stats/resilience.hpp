@@ -50,7 +50,7 @@ class ResilienceTracker final : public EventHandler {
   void start();
   void stop() { running_ = false; }
 
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   Time fault_onset() const { return onset_; }
   std::size_t num_watched() const { return flows_.size(); }

@@ -31,7 +31,7 @@ void QueueSampler::start() {
   eq_.schedule_in(period_, this);
 }
 
-void QueueSampler::on_event(std::uint32_t) {
+void QueueSampler::on_event(std::uint64_t) {
   if (!running_) return;
   const Time now = eq_.now();
   for (std::size_t i = 0; i < queues_.size(); ++i) {
@@ -54,7 +54,7 @@ void RateSampler::start() {
   eq_.schedule_in(period_, this);
 }
 
-void RateSampler::on_event(std::uint32_t) {
+void RateSampler::on_event(std::uint64_t) {
   if (!running_) return;
   const Time now = eq_.now();
   for (std::size_t i = 0; i < flows_.size(); ++i) {
@@ -79,7 +79,7 @@ void CwndSampler::start() {
   eq_.schedule_in(period_, this);
 }
 
-void CwndSampler::on_event(std::uint32_t) {
+void CwndSampler::on_event(std::uint64_t) {
   if (!running_) return;
   const Time now = eq_.now();
   for (std::size_t i = 0; i < flows_.size(); ++i)

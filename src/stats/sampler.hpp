@@ -37,7 +37,7 @@ class QueueSampler final : public EventHandler {
   void watch(Queue* q);
   void start();
   void stop() { running_ = false; }
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   const TimeSeries& physical(std::size_t i) const { return physical_[i]; }
   const TimeSeries& phantom(std::size_t i) const { return phantom_[i]; }
@@ -60,7 +60,7 @@ class RateSampler final : public EventHandler {
   void watch(const FlowSender* flow, std::string label);
   void start();
   void stop() { running_ = false; }
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   std::size_t num_watched() const { return flows_.size(); }
   const TimeSeries& series(std::size_t i) const { return series_[i]; }
@@ -89,7 +89,7 @@ class CwndSampler final : public EventHandler {
   void watch(const FlowSender* flow, std::string label);
   void start();
   void stop() { running_ = false; }
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   std::size_t num_watched() const { return flows_.size(); }
   const TimeSeries& series(std::size_t i) const { return series_[i]; }

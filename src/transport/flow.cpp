@@ -42,7 +42,7 @@ void FlowSender::start() {
   }
 }
 
-void FlowSender::on_event(std::uint32_t tag) {
+void FlowSender::on_event(std::uint64_t tag) {
   switch (tag) {
     case kTagStart:
       started_ = true;
@@ -434,7 +434,7 @@ void FlowReceiver::arm_block_timer() {
     block_timer_.arm_at(earliest);
 }
 
-void FlowReceiver::on_event(std::uint32_t) {
+void FlowReceiver::on_event(std::uint64_t) {
   const Time now = eq_.now();
   for (auto& [block, deadline] : block_deadline_) {
     if (deadline > now) continue;

@@ -109,7 +109,7 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths);
 
   void receive(Packet p) override;
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
   const std::string& name() const override { return name_; }
 
   std::uint64_t data_packets_received() const { return received_count_; }
@@ -161,7 +161,7 @@ class FlowSender final : public PacketSink, public EventHandler {
   void start();
 
   void receive(Packet p) override;  // ACKs and NACKs arrive here
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
   const std::string& name() const override { return name_; }
 
   // --- observability ---------------------------------------------------------

@@ -13,7 +13,7 @@ AllreduceDriver::AllreduceDriver(EventQueue& eq, const Config& cfg, SpawnFn spaw
 
 void AllreduceDriver::start() { start_iteration(); }
 
-void AllreduceDriver::on_event(std::uint32_t) { start_iteration(); }
+void AllreduceDriver::on_event(std::uint64_t) { start_iteration(); }
 
 void AllreduceDriver::start_iteration() {
   iteration_start_ = eq_.now();

@@ -38,7 +38,7 @@ class AllreduceDriver final : public EventHandler {
   AllreduceDriver(EventQueue& eq, const Config& cfg, SpawnFn spawn);
 
   void start();
-  void on_event(std::uint32_t tag) override;
+  void on_event(std::uint64_t tag) override;
 
   bool finished() const { return static_cast<int>(iteration_times_.size()) == cfg_.iterations; }
   /// Communication time of each completed iteration.

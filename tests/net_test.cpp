@@ -60,7 +60,7 @@ TEST(Link, PreservesFifoOrder) {
   Route r = make_route({&link, &sink});
   struct Feeder : EventHandler {
     Route* r;
-    void on_event(std::uint32_t tag) override {
+    void on_event(std::uint64_t tag) override {
       Packet p = make_data_packet(1, tag, 100);
       p.route = r;
       forward(std::move(p));

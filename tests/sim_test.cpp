@@ -42,10 +42,10 @@ TEST(Time, BytesInInterval) {
 class Recorder : public EventHandler {
  public:
   explicit Recorder(EventQueue& eq) : eq_(eq) {}
-  void on_event(std::uint32_t tag) override {
+  void on_event(std::uint64_t tag) override {
     fired.push_back({eq_.now(), tag});
   }
-  std::vector<std::pair<Time, std::uint32_t>> fired;
+  std::vector<std::pair<Time, std::uint64_t>> fired;
 
  private:
   EventQueue& eq_;
@@ -59,9 +59,9 @@ TEST(EventQueue, FiresInTimeOrder) {
   eq.schedule_at(200, &r, 2);
   eq.run_all();
   ASSERT_EQ(r.fired.size(), 3u);
-  EXPECT_EQ(r.fired[0], (std::pair<Time, std::uint32_t>{100, 1}));
-  EXPECT_EQ(r.fired[1], (std::pair<Time, std::uint32_t>{200, 2}));
-  EXPECT_EQ(r.fired[2], (std::pair<Time, std::uint32_t>{300, 3}));
+  EXPECT_EQ(r.fired[0], (std::pair<Time, std::uint64_t>{100, 1}));
+  EXPECT_EQ(r.fired[1], (std::pair<Time, std::uint64_t>{200, 2}));
+  EXPECT_EQ(r.fired[2], (std::pair<Time, std::uint64_t>{300, 3}));
 }
 
 TEST(EventQueue, TiesBreakByInsertionOrder) {
@@ -91,7 +91,7 @@ TEST(EventQueue, HandlerCanScheduleMore) {
     EventQueue& eq;
     int count = 0;
     explicit Chain(EventQueue& e) : eq(e) {}
-    void on_event(std::uint32_t) override {
+    void on_event(std::uint64_t) override {
       if (++count < 5) eq.schedule_in(10, this);
     }
   } chain(eq);
@@ -109,7 +109,7 @@ TEST(Timer, FiresOnceAtDeadline) {
   EXPECT_TRUE(t.armed());
   eq.run_all();
   ASSERT_EQ(r.fired.size(), 1u);
-  EXPECT_EQ(r.fired[0], (std::pair<Time, std::uint32_t>{500, 7}));
+  EXPECT_EQ(r.fired[0], (std::pair<Time, std::uint64_t>{500, 7}));
   EXPECT_FALSE(t.armed());
 }
 

@@ -10,14 +10,24 @@
 //   uno_sim --scheme uno --fault "2ms down border:0"
 //   uno_sim --scheme uno --fault "1ms flap border:1 period=500us duty=0.5"
 //
+// Batch mode: --seeds and/or --sweep expand one configuration into a list of
+// independent runs, executed on --jobs worker threads (each run owns its
+// Experiment) and merged into one table in submission order — the output is
+// identical for --jobs 1 and --jobs 8:
+//
+//   uno_sim --scheme uno --sweep load=0.1:0.8:15 --jobs 8
+//   uno_sim --scheme uno --workload incast --seeds 10 --jobs 4
+//
 // Run with --help for the full flag list.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "faults/plan.hpp"
 #include "stats/resilience.hpp"
 #include "stats/summary.hpp"
@@ -108,7 +118,13 @@ void usage() {
       "  --loss-scale F     Table-1 burst loss amplification     [0]\n"
       "  --seed N           RNG seed                             [1]\n"
       "  --deadline-ms F    simulation deadline                  [1000]\n"
-      "  --queues           also print the busiest queues\n");
+      "  --queues           also print the busiest queues\n"
+      "\n"
+      "batch mode (merged summary table instead of the full report):\n"
+      "  --seeds N          run seeds seed..seed+N-1             [1]\n"
+      "  --sweep KEY=LO:HI:N  N evenly spaced points over KEY;\n"
+      "                     keys: load | rtt-ratio | size-mb | flows\n"
+      "  --jobs N           worker threads for the batch (0 = one per core) [1]\n");
 }
 
 SchemeSpec parse_scheme(const std::string& name, bool* ok) {
@@ -127,6 +143,217 @@ SchemeSpec parse_scheme(const std::string& name, bool* ok) {
   return SchemeSpec::uno();
 }
 
+/// The per-run knobs a batch can vary; everything else comes straight from
+/// the (immutable, shared) Flags.
+struct RunParams {
+  std::uint64_t seed = 1;
+  double load = 0.4;
+  double size_mb = 8;
+  double rtt_ratio = 0;  // 0 = keep the topology default
+  int flows = 8;
+};
+
+/// --sweep KEY=LO:HI:N over one RunParams dimension.
+struct Sweep {
+  bool active = false;
+  std::string key;
+  double lo = 0, hi = 0;
+  int n = 0;
+
+  double value(int i) const {
+    return n <= 1 ? lo : lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+};
+
+bool parse_sweep(const std::string& spec, Sweep* out, std::string* err) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    *err = "expected KEY=LO:HI:N";
+    return false;
+  }
+  out->key = spec.substr(0, eq);
+  if (out->key != "load" && out->key != "rtt-ratio" && out->key != "size-mb" &&
+      out->key != "flows") {
+    *err = "unknown sweep key: " + out->key;
+    return false;
+  }
+  double lo = 0, hi = 0;
+  int n = 0;
+  if (std::sscanf(spec.c_str() + eq + 1, "%lf:%lf:%d", &lo, &hi, &n) != 3 || n < 1) {
+    *err = "expected KEY=LO:HI:N with N >= 1";
+    return false;
+  }
+  out->lo = lo;
+  out->hi = hi;
+  out->n = n;
+  out->active = true;
+  return true;
+}
+
+void apply_sweep_value(const Sweep& sw, double v, RunParams* rp) {
+  if (sw.key == "load") rp->load = v;
+  if (sw.key == "rtt-ratio") rp->rtt_ratio = v;
+  if (sw.key == "size-mb") rp->size_mb = v;
+  if (sw.key == "flows") rp->flows = static_cast<int>(v);
+}
+
+ExperimentConfig build_config(const Flags& flags, const RunParams& rp,
+                              const FaultPlan& faults, bool* scheme_ok) {
+  ExperimentConfig cfg;
+  cfg.scheme = parse_scheme(flags.str("scheme", "uno"), scheme_ok);
+  cfg.seed = rp.seed;
+  cfg.uno.fattree_k = static_cast<int>(flags.num("k", 8));
+  cfg.uno.num_dcs = static_cast<int>(flags.num("dcs", 2));
+  cfg.uno.cross_links = static_cast<int>(flags.num("cross-links", 8));
+  if (rp.rtt_ratio > 0)
+    cfg.uno.inter_rtt =
+        static_cast<Time>(rp.rtt_ratio * static_cast<double>(cfg.uno.intra_rtt));
+  cfg.faults = faults;
+  return cfg;
+}
+
+/// Build the workload's flow list, or return false with an error message.
+bool build_specs(const Flags& flags, const RunParams& rp, const HostSpace& hosts,
+                 std::vector<FlowSpec>* specs, std::string* err) {
+  const std::string workload = flags.str("workload", "poisson");
+  const auto size_bytes = static_cast<std::uint64_t>(rp.size_mb * (1 << 20));
+  if (workload == "poisson") {
+    PoissonConfig pc;
+    pc.load = rp.load;
+    pc.duration = static_cast<Time>(flags.num("duration-ms", 5) * kMillisecond);
+    pc.active_hosts = static_cast<int>(flags.num("active-hosts", 64));
+    pc.seed = rp.seed;
+    const double ss = flags.num("size-scale", 1.0 / 32.0);
+    *specs = make_poisson_mixed(hosts, EmpiricalCdf::websearch().scaled(ss),
+                                EmpiricalCdf::alibaba_wan().scaled(ss), pc);
+  } else if (workload == "incast") {
+    const int n = rp.flows;
+    *specs = make_incast(hosts, 0, n / 2, n - n / 2, size_bytes);
+  } else if (workload == "permutation") {
+    *specs = make_permutation(hosts, size_bytes, rp.seed);
+  } else if (workload == "replay") {
+    const std::string trace = flags.str("trace", "");
+    if (trace.empty()) {
+      *err = "--workload replay requires --trace FILE";
+      return false;
+    }
+    *specs = load_flow_specs_csv(trace, hosts);
+  } else {
+    *err = "unknown workload: " + workload;
+    return false;
+  }
+  return true;
+}
+
+/// Table-1 burst loss on every cross-DC link, scaled by --loss-scale.
+void apply_loss_scale(Experiment& ex, std::uint64_t seed, double loss_scale) {
+  if (loss_scale <= 0) return;
+  BurstLoss::Params p = BurstLoss::table1_setup1();
+  p.event_rate *= loss_scale;
+  std::uint64_t stream = 900;
+  for (int d = 0; d < ex.topo().num_dcs(); ++d)
+    for (int peer = 0; peer < ex.topo().num_dcs(); ++peer)
+      for (int j = 0; peer != d && j < ex.topo().cross_link_count(); ++j)
+        ex.topo().cross_link(d, peer, j).set_loss_model(
+            std::make_unique<BurstLoss>(p, Rng::stream(seed, stream++)));
+}
+
+/// One batch run's merged-table row.
+struct RunRow {
+  std::string label;
+  std::size_t spawned = 0, completed = 0;
+  bool done = false;
+  FctSummary all;
+  std::uint64_t drops = 0, trims = 0;
+  double sim_ms = 0;
+  std::string error;
+};
+
+RunRow run_one(const Flags& flags, const RunParams& rp, const FaultPlan& faults,
+               std::string label) {
+  RunRow row;
+  row.label = std::move(label);
+  bool scheme_ok = false;
+  const ExperimentConfig cfg = build_config(flags, rp, faults, &scheme_ok);
+  Experiment ex(cfg);
+  const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+  apply_loss_scale(ex, cfg.seed, flags.num("loss-scale", 0));
+  std::vector<FlowSpec> specs;
+  if (!build_specs(flags, rp, hosts, &specs, &row.error)) return row;
+  ex.spawn_all(specs);
+  const Time deadline = static_cast<Time>(flags.num("deadline-ms", 1000) * kMillisecond);
+  row.done = ex.run_to_completion(deadline);
+  row.spawned = ex.flows_spawned();
+  row.completed = ex.flows_completed();
+  row.all = ex.fct().summarize();
+  row.drops = ex.topo().total_drops();
+  row.trims = ex.topo().total_trims();
+  row.sim_ms = to_milliseconds(ex.eq().now());
+  return row;
+}
+
+int run_batch(const Flags& flags, const FaultPlan& faults, const Sweep& sweep,
+              int nseeds, int jobs) {
+  const RunParams base{static_cast<std::uint64_t>(flags.num("seed", 1)),
+                       flags.num("load", 0.4), flags.num("size-mb", 8),
+                       flags.has("rtt-ratio") ? flags.num("rtt-ratio", 143) : 0,
+                       static_cast<int>(flags.num("flows", 8))};
+
+  // Expand sweep points x seeds into a flat run list; the merged table keeps
+  // this submission order no matter how workers interleave.
+  struct Planned {
+    RunParams rp;
+    std::string label;
+  };
+  std::vector<Planned> plan;
+  const int points = sweep.active ? sweep.n : 1;
+  for (int p = 0; p < points; ++p) {
+    for (int s = 0; s < nseeds; ++s) {
+      Planned pl;
+      pl.rp = base;
+      pl.rp.seed = base.seed + static_cast<std::uint64_t>(s);
+      char buf[64];
+      if (sweep.active) {
+        apply_sweep_value(sweep, sweep.value(p), &pl.rp);
+        std::snprintf(buf, sizeof(buf), "%s=%g", sweep.key.c_str(), sweep.value(p));
+        pl.label = buf;
+      }
+      if (nseeds > 1) {
+        std::snprintf(buf, sizeof(buf), "%sseed=%llu", sweep.active ? " " : "",
+                      static_cast<unsigned long long>(pl.rp.seed));
+        pl.label += buf;
+      }
+      plan.push_back(std::move(pl));
+    }
+  }
+
+  std::printf("batch: %zu runs on %d worker(s), scheme=%s workload=%s\n", plan.size(),
+              resolve_jobs(jobs), flags.str("scheme", "uno").c_str(),
+              flags.str("workload", "poisson").c_str());
+  const auto rows = parallel_map(jobs, plan.size(), [&](std::size_t i) {
+    return run_one(flags, plan[i].rp, faults, plan[i].label);
+  });
+
+  bool all_done = true;
+  Table t({"run", "flows", "done", "mean us", "p50 us", "p99 us", "mean slowdown",
+           "drops", "trims", "sim ms"});
+  for (const RunRow& r : rows) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", r.label.c_str(), r.error.c_str());
+      return 2;
+    }
+    all_done &= r.done;
+    char flows[32];
+    std::snprintf(flows, sizeof(flows), "%zu/%zu", r.completed, r.spawned);
+    t.add_row({r.label, flows, r.done ? "yes" : "NO", Table::fmt(r.all.mean_us, 1),
+               Table::fmt(r.all.p50_us, 1), Table::fmt(r.all.p99_us, 1),
+               Table::fmt(r.all.mean_slowdown, 2), std::to_string(r.drops),
+               std::to_string(r.trims), Table::fmt(r.sim_ms, 2)});
+  }
+  t.print("batch results");
+  return all_done ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,38 +365,48 @@ int main(int argc, char** argv) {
   if (!flags.validate({"scheme", "workload", "load", "duration-ms", "active-hosts", "flows",
                        "size-mb", "size-scale", "rtt-ratio", "k", "cross-links",
                        "fail-links", "fault", "fault-sample-us", "loss-scale", "seed",
-                       "deadline-ms", "queues", "trace", "dcs", "help"})) {
+                       "deadline-ms", "queues", "trace", "dcs", "help", "seeds", "sweep",
+                       "jobs"})) {
     usage();
     return 2;
   }
 
   bool scheme_ok = false;
-  ExperimentConfig cfg;
-  cfg.scheme = parse_scheme(flags.str("scheme", "uno"), &scheme_ok);
+  parse_scheme(flags.str("scheme", "uno"), &scheme_ok);
   if (!scheme_ok) {
     std::fprintf(stderr, "unknown scheme\n");
     return 2;
   }
-  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
-  cfg.uno.fattree_k = static_cast<int>(flags.num("k", 8));
-  cfg.uno.num_dcs = static_cast<int>(flags.num("dcs", 2));
-  cfg.uno.cross_links = static_cast<int>(flags.num("cross-links", 8));
-  if (flags.has("rtt-ratio"))
-    cfg.uno.inter_rtt = static_cast<Time>(flags.num("rtt-ratio", 143) *
-                                          static_cast<double>(cfg.uno.intra_rtt));
 
   // --fail-links is sugar for a permanent down event at t=0 on each link.
   const int fails = std::min(static_cast<int>(flags.num("fail-links", 0)),
-                             cfg.uno.cross_links);
-  cfg.faults = FaultPlan::fail_links(fails);
+                             static_cast<int>(flags.num("cross-links", 8)));
+  FaultPlan faults = FaultPlan::fail_links(fails);
   if (flags.has("fault")) {
     std::string err;
-    if (!FaultPlan::parse(flags.str("fault", ""), &cfg.faults, &err)) {
+    if (!FaultPlan::parse(flags.str("fault", ""), &faults, &err)) {
       std::fprintf(stderr, "bad --fault: %s\n", err.c_str());
       return 2;
     }
   }
 
+  Sweep sweep;
+  if (flags.has("sweep")) {
+    std::string err;
+    if (!parse_sweep(flags.str("sweep", ""), &sweep, &err)) {
+      std::fprintf(stderr, "bad --sweep: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  const int nseeds = std::max(1, static_cast<int>(flags.num("seeds", 1)));
+  if (sweep.active || nseeds > 1)
+    return run_batch(flags, faults, sweep, nseeds, static_cast<int>(flags.num("jobs", 1)));
+
+  const RunParams base{static_cast<std::uint64_t>(flags.num("seed", 1)),
+                       flags.num("load", 0.4), flags.num("size-mb", 8),
+                       flags.has("rtt-ratio") ? flags.num("rtt-ratio", 143) : 0,
+                       static_cast<int>(flags.num("flows", 8))};
+  const ExperimentConfig cfg = build_config(flags, base, faults, &scheme_ok);
   Experiment ex(cfg);
   const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
 
@@ -178,51 +415,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fault target matched nothing: %s\n", t.c_str());
     return 2;
   }
-  const double loss_scale = flags.num("loss-scale", 0);
-  if (loss_scale > 0) {
-    BurstLoss::Params p = BurstLoss::table1_setup1();
-    p.event_rate *= loss_scale;
-    std::uint64_t stream = 900;
-    for (int d = 0; d < ex.topo().num_dcs(); ++d)
-      for (int peer = 0; peer < ex.topo().num_dcs(); ++peer)
-        for (int j = 0; peer != d && j < ex.topo().cross_link_count(); ++j)
-          ex.topo().cross_link(d, peer, j).set_loss_model(
-              std::make_unique<BurstLoss>(p, Rng::stream(cfg.seed, stream++)));
-  }
+  apply_loss_scale(ex, cfg.seed, flags.num("loss-scale", 0));
 
-  const std::string workload = flags.str("workload", "poisson");
-  const auto size_bytes =
-      static_cast<std::uint64_t>(flags.num("size-mb", 8) * (1 << 20));
   std::vector<FlowSpec> specs;
-  if (workload == "poisson") {
-    PoissonConfig pc;
-    pc.load = flags.num("load", 0.4);
-    pc.duration = static_cast<Time>(flags.num("duration-ms", 5) * kMillisecond);
-    pc.active_hosts = static_cast<int>(flags.num("active-hosts", 64));
-    pc.seed = cfg.seed;
-    const double ss = flags.num("size-scale", 1.0 / 32.0);
-    specs = make_poisson_mixed(hosts, EmpiricalCdf::websearch().scaled(ss),
-                               EmpiricalCdf::alibaba_wan().scaled(ss), pc);
-  } else if (workload == "incast") {
-    const int n = static_cast<int>(flags.num("flows", 8));
-    specs = make_incast(hosts, 0, n / 2, n - n / 2, size_bytes);
-  } else if (workload == "permutation") {
-    specs = make_permutation(hosts, size_bytes, cfg.seed);
-  } else if (workload == "replay") {
-    const std::string trace = flags.str("trace", "");
-    if (trace.empty()) {
-      std::fprintf(stderr, "--workload replay requires --trace FILE\n");
-      return 2;
-    }
-    specs = load_flow_specs_csv(trace, hosts);
-  } else {
-    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+  std::string err;
+  if (!build_specs(flags, base, hosts, &specs, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
 
   std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms\n",
-              cfg.scheme.name.c_str(), workload.c_str(), specs.size(), hosts.total(),
-              to_milliseconds(cfg.uno.inter_rtt));
+              cfg.scheme.name.c_str(), flags.str("workload", "poisson").c_str(),
+              specs.size(), hosts.total(), to_milliseconds(cfg.uno.inter_rtt));
   ex.spawn_all(specs);
 
   // With a fault plan active, track recovery: goodput per flow, sampled

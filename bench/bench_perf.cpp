@@ -24,6 +24,8 @@
 //   fault_flap     incast under a flapping border link (retransmit-timer
 //                  storms; exercises stale-entry compaction)
 //   sweep          15-point load sweep, independent sims via parallel_for
+//   fec            (8,2) encode GB/s, scalar vs best SIMD kernel (headline
+//                  number only; bench_fec has the full kernel x size matrix)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,9 @@
 
 #include "bench/common.hpp"
 #include "core/parallel.hpp"
+#include "fec/arena.hpp"
+#include "fec/gf256_simd.hpp"
+#include "fec/rs.hpp"
 #include "workload/cdf.hpp"
 
 using namespace uno;
@@ -149,8 +154,52 @@ SweepResult run_sweep(bool quick, int jobs) {
   return r;
 }
 
+struct FecResult {
+  std::string best_kernel = "scalar";
+  double scalar_gbps = 0;
+  double best_gbps = 0;
+  double speedup() const { return scalar_gbps > 0 ? best_gbps / scalar_gbps : 0; }
+};
+
+/// Headline FEC number for the perf trajectory: (8,2) encode GB/s at 4 KiB
+/// shards, scalar vs the best kernel this CPU dispatches to. bench_fec has
+/// the full matrix; this keeps the speedup visible in BENCH_PERF.json.
+FecResult run_fec(bool quick) {
+  constexpr int k = 8, m = 2;
+  constexpr std::size_t shard = 4096;
+  ReedSolomon rs(k, m);
+  ShardArena arena;
+  arena.reset(k + m, shard);
+  for (int s = 0; s < k; ++s)
+    for (std::size_t i = 0; i < shard; ++i)
+      arena.shard(s)[i] = static_cast<std::uint8_t>(i * 31 + s * 131 + 7);
+
+  const gf256::Kernel initial = gf256::active_kernel();
+  auto encode_gbps = [&](gf256::Kernel kern) {
+    gf256::set_kernel(kern);
+    const double min_time = quick ? 0.02 : 0.2;
+    std::uint64_t iters = 0;
+    const double t0 = now_seconds();
+    double t1 = t0;
+    while (t1 - t0 < min_time) {
+      for (int i = 0; i < 64; ++i) rs.encode(arena);
+      iters += 64;
+      t1 = now_seconds();
+    }
+    return static_cast<double>(iters) * k * shard / (t1 - t0) / 1e9;
+  };
+  FecResult r;
+  r.scalar_gbps = encode_gbps(gf256::Kernel::kScalar);
+  const gf256::Kernel best = gf256::best_supported_kernel();
+  r.best_kernel = gf256::kernel_name(best);
+  r.best_gbps = best == gf256::Kernel::kScalar ? r.scalar_gbps : encode_gbps(best);
+  gf256::set_kernel(initial);
+  return r;
+}
+
 void write_json(const std::string& path, bool quick, int jobs,
-                const std::vector<ScenarioResult>& rs, const SweepResult& sweep) {
+                const std::vector<ScenarioResult>& rs, const SweepResult& sweep,
+                const FecResult& fec) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -173,9 +222,13 @@ void write_json(const std::string& path, bool quick, int jobs,
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"sweep\": {\"points\": %d, \"jobs\": %d, \"wall_s\": %.4f, "
-               "\"events\": %llu, \"events_per_sec\": %.0f}\n}\n",
+               "\"events\": %llu, \"events_per_sec\": %.0f},\n",
                sweep.points, jobs, sweep.wall_s,
                static_cast<unsigned long long>(sweep.events), sweep.events_per_sec);
+  std::fprintf(f,
+               "  \"fec\": {\"best_kernel\": \"%s\", \"encode_gbps_scalar\": %.3f, "
+               "\"encode_gbps_best\": %.3f, \"encode_speedup\": %.2f}\n}\n",
+               fec.best_kernel.c_str(), fec.scalar_gbps, fec.best_gbps, fec.speedup());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -246,6 +299,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sweep.events), sweep.events_per_sec / 1e6);
   }
 
-  if (!out.empty()) write_json(out, quick, jobs, results, sweep);
+  FecResult fec;
+  if (wanted("fec")) {
+    fec = run_fec(quick);
+    std::printf("\nfec: (8,2) encode %.3f GB/s scalar, %.3f GB/s %s (%.2fx)\n",
+                fec.scalar_gbps, fec.best_gbps, fec.best_kernel.c_str(), fec.speedup());
+  }
+
+  if (!out.empty()) write_json(out, quick, jobs, results, sweep, fec);
   return 0;
 }

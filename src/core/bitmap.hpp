@@ -1,0 +1,95 @@
+// Word-packed bitmaps for per-packet bookkeeping.
+//
+// `Bitset64` replaces `std::vector<bool>` on the transport hot path: bits
+// live in 64-bit words, membership tests are one load+shift, and block-level
+// questions ("how many of these 10 shards arrived?") are a window extract
+// plus popcount instead of a bit-by-bit walk. The extracted window doubles
+// as the present-bitmask key of the Reed–Solomon decode-matrix cache, so the
+// receiver's delivery state and the codec's erasure pattern share one
+// representation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace uno {
+
+class Bitset64 {
+ public:
+  Bitset64() = default;
+  explicit Bitset64(std::size_t n) { assign(n); }
+
+  /// Resize to `n` bits, all cleared (value semantics of vector::assign).
+  void assign(std::size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Set bit `i`, returning its previous value (one word access).
+  bool test_and_set(std::size_t i) {
+    assert(i < size_);
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    const bool was = (w & bit) != 0;
+    w |= bit;
+    return was;
+  }
+
+  /// Total set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Bits [pos, pos + n) packed into one word, bit 0 = `pos`. n <= 64; the
+  /// window may straddle a word boundary.
+  std::uint64_t window(std::size_t pos, std::size_t n) const {
+    assert(n <= 64);
+    assert(pos + n <= size_);
+    if (n == 0) return 0;
+    const std::size_t word = pos >> 6;
+    const unsigned shift = static_cast<unsigned>(pos & 63);
+    std::uint64_t w = words_[word] >> shift;
+    if (shift != 0 && word + 1 < words_.size()) w |= words_[word + 1] << (64 - shift);
+    return n == 64 ? w : w & ((std::uint64_t{1} << n) - 1);
+  }
+
+  /// Popcount of bits [pos, pos + n); any n (walks whole words).
+  std::size_t count_range(std::size_t pos, std::size_t n) const {
+    assert(pos + n <= size_);
+    std::size_t c = 0;
+    while (n > 0) {
+      const std::size_t chunk = n < 64 ? n : 64;
+      c += static_cast<std::size_t>(__builtin_popcountll(window(pos, chunk)));
+      pos += chunk;
+      n -= chunk;
+    }
+    return c;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace uno

@@ -13,14 +13,13 @@ BlockFrame::BlockFrame(std::uint64_t size_bytes, std::int64_t mtu, bool ec_enabl
       y_(ec_enabled ? parity_shards : 0) {
   assert(mtu_ > 0);
   assert(x_ > 0);
-  assert(y_ >= 0 && y_ <= 255);
+  assert(y_ >= 0 && x_ + y_ <= 64);  // shard masks are 64-bit words
   ndata_ = std::max<std::uint64_t>(1, (size_bytes_ + mtu_ - 1) / mtu_);
   nblocks_ = static_cast<std::uint32_t>((ndata_ + x_ - 1) / x_);
   // Every block except possibly the last carries x_ data shards; each block
   // carries y_ parity shards.
   total_packets_ = ndata_ + static_cast<std::uint64_t>(nblocks_) * y_;
-  marked_.assign(total_packets_, false);
-  block_count_.assign(nblocks_, 0);
+  marked_.assign(total_packets_);
 }
 
 int BlockFrame::data_shards_in_block(std::uint32_t b) const {
@@ -53,11 +52,11 @@ BlockFrame::Shard BlockFrame::shard_of(std::uint64_t seq) const {
 
 bool BlockFrame::mark(std::uint64_t seq) {
   assert(seq < total_packets_);
-  if (marked_[seq]) return false;
-  marked_[seq] = true;
+  if (marked_.test_and_set(seq)) return false;
   const Shard s = shard_of(seq);
-  const int dl = data_shards_in_block(s.block);
-  if (++block_count_[s.block] == dl) ++complete_blocks_;
+  // Completion fires exactly once: bits are set one at a time, so the
+  // popcount equals data_shards_in_block only on the completing mark.
+  if (marked_in_block(s.block) == data_shards_in_block(s.block)) ++complete_blocks_;
   return true;
 }
 

@@ -15,7 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+
+#include "core/bitmap.hpp"
 
 namespace uno {
 
@@ -50,15 +51,26 @@ class BlockFrame {
   }
 
   // --- delivery/ACK progress --------------------------------------------------
+  // Delivery state is a word-packed bitmap (core/bitmap.hpp): per-block
+  // questions are a window extract + popcount, and `shard_mask` is the same
+  // present-bitmask the Reed–Solomon decode-matrix cache keys on.
+
   /// Record shard `seq` as delivered/acked. Returns true the first time.
   bool mark(std::uint64_t seq);
-  bool is_marked(std::uint64_t seq) const { return marked_[seq]; }
-  int marked_in_block(std::uint32_t b) const { return block_count_[b]; }
+  bool is_marked(std::uint64_t seq) const { return marked_.test(seq); }
+  int marked_in_block(std::uint32_t b) const {
+    return static_cast<int>(
+        marked_.count_range(first_seq_of_block(b), shards_in_block(b)));
+  }
   /// Decodable: >= data_shards_in_block distinct shards marked.
   bool block_complete(std::uint32_t b) const {
-    return block_count_[b] >= data_shards_in_block(b);
+    return marked_in_block(b) >= data_shards_in_block(b);
   }
   bool complete() const { return complete_blocks_ == nblocks_; }
+  /// Present bitmask of block b's shards, bit i = shard i (x + y <= 64).
+  std::uint64_t shard_mask(std::uint32_t b) const {
+    return marked_.window(first_seq_of_block(b), shards_in_block(b));
+  }
 
  private:
   std::uint64_t size_bytes_;
@@ -69,8 +81,7 @@ class BlockFrame {
   std::uint32_t nblocks_;
   std::uint64_t total_packets_;
 
-  std::vector<bool> marked_;
-  std::vector<std::uint16_t> block_count_;
+  Bitset64 marked_;
   std::uint32_t complete_blocks_ = 0;
 };
 

@@ -3,6 +3,9 @@
 #include <array>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+
+#include "fec/gf256_simd.hpp"
 
 namespace uno::gf256 {
 
@@ -66,6 +69,15 @@ std::uint8_t log(std::uint8_t a) {
 }
 
 void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t len) {
+  mul_add_region(dst, src, c, len);
+}
+
+// Scalar reference region ops (see gf256_simd.hpp). These live here, next to
+// the log/exp tables, so the SIMD kernels' independently built nibble tables
+// get cross-checked against a genuinely different field derivation.
+
+void mul_add_region_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                           std::size_t len) {
   if (c == 0) return;
   const Tables& t = tables();
   if (c == 1) {
@@ -76,6 +88,24 @@ void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::si
   for (std::size_t i = 0; i < len; ++i) {
     const std::uint8_t s = src[i];
     if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+void mul_region_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                       std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  const Tables& t = tables();
+  if (c == 1) {
+    std::memmove(dst, src, len);
+    return;
+  }
+  const unsigned lc = t.log[c];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = s == 0 ? 0 : t.exp[lc + t.log[s]];
   }
 }
 

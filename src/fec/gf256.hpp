@@ -23,7 +23,8 @@ std::uint8_t exp(unsigned e);
 std::uint8_t log(std::uint8_t a);
 
 /// Multiply-accumulate over a buffer: dst[i] ^= c * src[i]. The hot loop of
-/// the encoder; kept out-of-line so the table pointers stay in registers.
+/// the encoder. Dispatches to the best SIMD kernel the CPU supports (see
+/// fec/gf256_simd.hpp for the kernels, dispatch policy, and overrides).
 void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t len);
 
 }  // namespace uno::gf256

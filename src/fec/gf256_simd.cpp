@@ -1,0 +1,311 @@
+#include "fec/gf256_simd.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if !defined(UNO_NO_SIMD) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define UNO_GF256_X86 1
+#include <immintrin.h>
+#endif
+#if !defined(UNO_NO_SIMD) && defined(__aarch64__)
+#define UNO_GF256_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace uno::gf256 {
+
+namespace {
+
+#if defined(UNO_GF256_X86) || defined(UNO_GF256_NEON)
+
+/// Russian-peasant GF(2^8) multiply mod x^8+x^4+x^3+x^2+1. Deliberately
+/// independent of the log/exp tables in gf256.cpp so the nibble tables and
+/// the scalar reference are built from two different derivations of the same
+/// field — the differential tests then cross-check the constructions.
+std::uint8_t gf_mul_slow(unsigned a, unsigned b) {
+  unsigned r = 0;
+  while (b) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (a & 0x100) a ^= 0x11D;
+  }
+  return static_cast<std::uint8_t>(r);
+}
+
+/// Split-nibble product tables: row c holds [c*0, c*1, .., c*15] followed by
+/// [c*0x00, c*0x10, .., c*0xF0], so c*b = row[b & 15] ^ row[16 + (b >> 4)].
+/// 8 KiB total, 64-byte aligned so each row is one (or half a) cache line.
+struct NibTables {
+  alignas(64) std::uint8_t row[256][32];
+  NibTables() {
+    for (unsigned c = 0; c < 256; ++c)
+      for (unsigned n = 0; n < 16; ++n) {
+        row[c][n] = gf_mul_slow(c, n);
+        row[c][16 + n] = gf_mul_slow(c, n << 4);
+      }
+  }
+};
+
+const NibTables& nib() {
+  static const NibTables t;
+  return t;
+}
+
+#endif  // UNO_GF256_X86 || UNO_GF256_NEON
+
+// --- x86 kernels -------------------------------------------------------------
+
+#ifdef UNO_GF256_X86
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(std::uint8_t* dst,
+                                                    const std::uint8_t* src, std::uint8_t c,
+                                                    std::size_t len) {
+  if (c == 0) return;
+  const std::uint8_t* tab = nib().row[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i p =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, _mm_and_si128(s, mask)),
+                      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(s, 4), mask)));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  for (; i < len; ++i) dst[i] ^= tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+__attribute__((target("ssse3"))) void mul_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                                                std::uint8_t c, std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  const std::uint8_t* tab = nib().row[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i p =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, _mm_and_si128(s, mask)),
+                      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi16(s, 4), mask)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p);
+  }
+  for (; i < len; ++i) dst[i] = tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                  std::uint8_t c, std::size_t len) {
+  if (c == 0) return;
+  const std::uint8_t* tab = nib().row[c];
+  const __m256i lo =
+      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i p = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi16(s, 4), mask)));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, p));
+  }
+  for (; i < len; ++i) dst[i] ^= tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+__attribute__((target("avx2"))) void mul_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                              std::uint8_t c, std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  const std::uint8_t* tab = nib().row[c];
+  const __m256i lo =
+      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i p = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi16(s, 4), mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), p);
+  }
+  for (; i < len; ++i) dst[i] = tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+#endif  // UNO_GF256_X86
+
+// --- NEON kernels ------------------------------------------------------------
+
+#ifdef UNO_GF256_NEON
+
+void mul_add_neon(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t len) {
+  if (c == 0) return;
+  const std::uint8_t* tab = nib().row[c];
+  const uint8x16_t lo = vld1q_u8(tab);
+  const uint8x16_t hi = vld1q_u8(tab + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t p =
+        veorq_u8(vqtbl1q_u8(lo, vandq_u8(s, mask)), vqtbl1q_u8(hi, vshrq_n_u8(s, 4)));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p));
+  }
+  for (; i < len; ++i) dst[i] ^= tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+void mul_neon(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  const std::uint8_t* tab = nib().row[c];
+  const uint8x16_t lo = vld1q_u8(tab);
+  const uint8x16_t hi = vld1q_u8(tab + 16);
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t p =
+        veorq_u8(vqtbl1q_u8(lo, vandq_u8(s, mask)), vqtbl1q_u8(hi, vshrq_n_u8(s, 4)));
+    vst1q_u8(dst + i, p);
+  }
+  for (; i < len; ++i) dst[i] = tab[src[i] & 0x0F] ^ tab[16 + (src[i] >> 4)];
+}
+
+#endif  // UNO_GF256_NEON
+
+// --- dispatch ----------------------------------------------------------------
+
+using RegionFn = void (*)(std::uint8_t*, const std::uint8_t*, std::uint8_t, std::size_t);
+
+struct Dispatch {
+  RegionFn mul_add = &mul_add_region_scalar;
+  RegionFn mul = &mul_region_scalar;
+  Kernel kernel = Kernel::kScalar;
+};
+
+Dispatch make_dispatch(Kernel k) {
+  Dispatch d;
+  d.kernel = k;
+  switch (k) {
+    case Kernel::kScalar:
+      break;
+#ifdef UNO_GF256_X86
+    case Kernel::kSsse3:
+      d.mul_add = &mul_add_ssse3;
+      d.mul = &mul_ssse3;
+      break;
+    case Kernel::kAvx2:
+      d.mul_add = &mul_add_avx2;
+      d.mul = &mul_avx2;
+      break;
+#endif
+#ifdef UNO_GF256_NEON
+    case Kernel::kNeon:
+      d.mul_add = &mul_add_neon;
+      d.mul = &mul_neon;
+      break;
+#endif
+    default:
+      assert(false && "unsupported kernel");
+      d.kernel = Kernel::kScalar;
+      break;
+  }
+  return d;
+}
+
+Kernel kernel_from_env() {
+  const char* e = std::getenv("UNO_SIMD");
+  if (e == nullptr) return best_supported_kernel();
+  std::string v(e);
+  for (char& ch : v) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  Kernel want = best_supported_kernel();
+  if (v == "off" || v == "0" || v == "scalar" || v == "false") want = Kernel::kScalar;
+  else if (v == "ssse3") want = Kernel::kSsse3;
+  else if (v == "avx2") want = Kernel::kAvx2;
+  else if (v == "neon") want = Kernel::kNeon;
+  return kernel_supported(want) ? want : Kernel::kScalar;
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = make_dispatch(kernel_from_env());
+  return d;
+}
+
+}  // namespace
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kSsse3: return "ssse3";
+    case Kernel::kAvx2: return "avx2";
+    case Kernel::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool kernel_supported(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return true;
+#ifdef UNO_GF256_X86
+    case Kernel::kSsse3:
+      return __builtin_cpu_supports("ssse3");
+    case Kernel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#endif
+#ifdef UNO_GF256_NEON
+    case Kernel::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+Kernel best_supported_kernel() {
+#ifdef UNO_GF256_X86
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+  if (__builtin_cpu_supports("ssse3")) return Kernel::kSsse3;
+#endif
+#ifdef UNO_GF256_NEON
+  return Kernel::kNeon;
+#endif
+  return Kernel::kScalar;
+}
+
+Kernel active_kernel() { return dispatch().kernel; }
+
+void set_kernel(Kernel k) {
+  assert(kernel_supported(k));
+  dispatch() = make_dispatch(kernel_supported(k) ? k : Kernel::kScalar);
+}
+
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  dispatch().mul_add(dst, src, c, len);
+}
+
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len) {
+  dispatch().mul(dst, src, c, len);
+}
+
+}  // namespace uno::gf256

@@ -1,0 +1,70 @@
+// Vectorized GF(2^8) region kernels and runtime dispatch.
+//
+// The per-byte inner loop of the Reed–Solomon codec is `dst ^= c * src` over
+// whole shards. The scalar path walks log/exp tables per byte; the SIMD
+// kernels use the ISA-L-style split-nibble trick instead: for a fixed
+// multiplier c, c*b = L[b & 0xF] ^ H[b >> 4] where L and H are 16-entry
+// product tables, so PSHUFB (x86) / TBL (NEON) computes 16/32 products per
+// instruction. The 256 x 2 x 16-byte table set (8 KiB) is built once from
+// the same primitive polynomial as the scalar tables, so every kernel is
+// bit-identical — GF arithmetic is exact, and tests diff them exhaustively.
+//
+// Kernel selection:
+//   * at process start the best ISA the CPU supports wins (AVX2 > SSSE3 >
+//     scalar on x86, NEON on aarch64);
+//   * the UNO_SIMD environment variable overrides: "off"/"0"/"scalar" force
+//     the scalar path, "ssse3"/"avx2"/"neon" force a specific kernel
+//     (falling back to scalar if unsupported);
+//   * tests force kernels programmatically via set_kernel(). Dispatch state
+//     is process-global and not synchronized: set it before spawning
+//     parallel runs, never during.
+//
+// Building with -DUNO_SIMD=OFF (CMake) compiles the vector kernels out
+// entirely; only kScalar is then supported.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uno::gf256 {
+
+enum class Kernel : std::uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Human-readable kernel name ("scalar", "ssse3", "avx2", "neon").
+const char* kernel_name(Kernel k);
+
+/// Can this build + CPU run kernel `k`?
+bool kernel_supported(Kernel k);
+
+/// Best kernel the CPU supports (ignores UNO_SIMD).
+Kernel best_supported_kernel();
+
+/// Kernel the region ops currently dispatch to.
+Kernel active_kernel();
+
+/// Force dispatch to `k` (must be supported). Test/bench hook; not
+/// thread-safe against in-flight region ops.
+void set_kernel(Kernel k);
+
+// --- dispatched region ops ---------------------------------------------------
+// dst and src must not overlap. Any alignment, any length (vector body +
+// scalar tail); results are identical across kernels.
+
+/// dst[i] ^= c * src[i]  (multiply-accumulate)
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len);
+
+/// dst[i] = c * src[i]  (multiply-overwrite; c == 0 zero-fills, c == 1 copies)
+void mul_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t len);
+
+// --- scalar reference --------------------------------------------------------
+// Always available regardless of dispatch state; the differential fuzz tests
+// compare every kernel against these.
+
+void mul_add_region_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                           std::size_t len);
+void mul_region_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                       std::size_t len);
+
+}  // namespace uno::gf256

@@ -1,15 +1,19 @@
 #include "fec/payload.hpp"
 
 #include <cassert>
+#include <cstring>
+
+#include "sim/rng.hpp"
 
 namespace uno {
 
 namespace {
 /// Deterministic bytes for (flow, block, shard index): cheap keyed stream.
-void fill_bytes(std::uint64_t flow_id, std::uint32_t block, int index,
-                std::vector<std::uint8_t>& out) {
+void fill_bytes(std::uint64_t flow_id, std::uint32_t block, int index, std::uint8_t* out,
+                std::size_t len) {
   Rng rng = Rng::stream(flow_id * 1000003 + block, static_cast<std::uint64_t>(index));
-  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_below(256));
+  for (std::size_t i = 0; i < len; ++i)
+    out[i] = static_cast<std::uint8_t>(rng.uniform_below(256));
 }
 }  // namespace
 
@@ -18,41 +22,55 @@ PayloadStore::PayloadStore(std::uint64_t flow_id, const BlockFrame& frame,
     : flow_id_(flow_id),
       frame_(frame),
       shard_bytes_(shard_bytes),
-      rs_(frame.data_per_block(), frame.parity_per_block()) {}
+      rs_(frame.data_per_block(), frame.parity_per_block()) {
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(frame_.num_blocks()) * rs_.total_shards();
+  assert(slots <= (1u << 30) && "verify_payload slab would exceed sane bounds");
+  // One allocation for the whole flow: packets hold pointers into the slab,
+  // so it must never move or be reused for different bytes.
+  slab_.reset(static_cast<int>(slots), shard_bytes_);
+  encoded_.assign(frame_.num_blocks());
+}
 
 std::vector<std::uint8_t> PayloadStore::expected_data(std::uint64_t flow_id,
                                                       std::uint32_t block, int index,
                                                       std::size_t shard_bytes) {
   std::vector<std::uint8_t> out(shard_bytes);
-  fill_bytes(flow_id, block, index, out);
+  fill_bytes(flow_id, block, index, out.data(), out.size());
   return out;
 }
 
 void PayloadStore::ensure_block(std::uint32_t block) {
-  if (blocks_.count(block)) return;
+  if (encoded_.test(block)) return;
+  const int x = frame_.data_per_block();
   const int dl = frame_.data_shards_in_block(block);
-  const int y = frame_.parity_per_block();
+  const int n = rs_.total_shards();
+  const int base = static_cast<int>(block) * n;
   // Encode with the full (x, y) geometry; a short last block is padded with
   // zero shards for the encoder but only its real shards go on the wire.
-  const int x = frame_.data_per_block();
-  std::vector<std::vector<std::uint8_t>> shards(x + y);
+  std::uint8_t* ptrs[64];
+  for (int i = 0; i < n; ++i) ptrs[i] = slab_.shard(base + i);
   for (int i = 0; i < x; ++i) {
-    shards[i].assign(shard_bytes_, 0);
-    if (i < dl) fill_bytes(flow_id_, block, i, shards[i]);
+    if (i < dl)
+      fill_bytes(flow_id_, block, i, ptrs[i], shard_bytes_);
+    else
+      std::memset(ptrs[i], 0, shard_bytes_);
   }
-  rs_.encode(shards);
-  // Keep wire shards only: dl data + y parity.
-  std::vector<std::vector<std::uint8_t>> wire;
-  wire.reserve(dl + y);
-  for (int i = 0; i < dl; ++i) wire.push_back(std::move(shards[i]));
-  for (int i = 0; i < y; ++i) wire.push_back(std::move(shards[x + i]));
-  blocks_.emplace(block, std::move(wire));
+  rs_.encode(ptrs, shard_bytes_);
+  encoded_.set(block);
+  ++blocks_encoded_;
 }
 
-const std::vector<std::uint8_t>& PayloadStore::shard(std::uint64_t seq) {
+std::span<const std::uint8_t> PayloadStore::shard(std::uint64_t seq) {
   const BlockFrame::Shard s = frame_.shard_of(seq);
   ensure_block(s.block);
-  return blocks_.at(s.block)[s.index];
+  const int x = frame_.data_per_block();
+  const int dl = frame_.data_shards_in_block(s.block);
+  // Wire index -> codec slot: data shards map 1:1, parity shards follow the
+  // (possibly padded) data region.
+  const int slot = s.index < dl ? s.index : x + (s.index - dl);
+  return {slab_.shard(static_cast<int>(s.block) * rs_.total_shards() + slot),
+          shard_bytes_};
 }
 
 PayloadVerifier::PayloadVerifier(std::uint64_t flow_id, const BlockFrame& frame,
@@ -60,49 +78,58 @@ PayloadVerifier::PayloadVerifier(std::uint64_t flow_id, const BlockFrame& frame,
     : flow_id_(flow_id),
       frame_(frame),
       shard_bytes_(shard_bytes),
-      rs_(frame.data_per_block(), frame.parity_per_block()) {}
+      rs_(frame.data_per_block(), frame.parity_per_block()),
+      expected_scratch_(shard_bytes) {
+  done_.assign(frame_.num_blocks());
+}
 
-bool PayloadVerifier::on_shard(std::uint32_t block, int index,
-                               const std::vector<std::uint8_t>& bytes) {
-  const int dl = frame_.data_shards_in_block(block);
+PayloadVerifier::Pending* PayloadVerifier::find_or_open(std::uint32_t block) {
+  for (Pending& p : pending_)
+    if (p.block == block) return &p;
+  Pending p;
+  p.block = block;
+  p.arena = pool_.acquire(rs_.total_shards(), shard_bytes_);
+  // Padding shards of a short last block are "present" as zeros.
   const int x = frame_.data_per_block();
-  const int y = frame_.parity_per_block();
-  Pending& p = pending_[block];
-  if (p.done) return false;
-  if (p.shards.empty()) {
-    p.shards.assign(x + y, {});
-    p.present.assign(x + y, false);
-    // Padding shards of a short last block are "present" as zeros.
-    for (int i = dl; i < x; ++i) {
-      p.shards[i].assign(shard_bytes_, 0);
-      p.present[i] = true;
-      ++p.have;
-    }
+  const int dl = frame_.data_shards_in_block(block);
+  for (int i = dl; i < x; ++i) {
+    std::memset(p.arena.shard(i), 0, shard_bytes_);
+    p.present |= std::uint64_t{1} << i;
   }
-  // Wire index -> codec slot: data shards map 1:1, parity shards follow the
-  // (possibly padded) data region.
+  pending_.push_back(std::move(p));
+  return &pending_.back();
+}
+
+bool PayloadVerifier::on_shard(std::uint32_t block, int index, const std::uint8_t* bytes) {
+  if (done_.test(block)) return false;
+  const int x = frame_.data_per_block();
+  const int dl = frame_.data_shards_in_block(block);
+  Pending* p = find_or_open(block);
+  // Wire index -> codec slot (as in PayloadStore::shard).
   const int slot = index < dl ? index : x + (index - dl);
-  assert(slot < x + y);
-  if (p.present[slot]) return false;  // duplicate
-  p.shards[slot] = bytes;
-  p.present[slot] = true;
-  ++p.have;
-  if (p.have < x) return false;
+  assert(slot < rs_.total_shards());
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  if (p->present & bit) return false;  // duplicate
+  std::memcpy(p->arena.shard(slot), bytes, shard_bytes_);
+  p->present |= bit;
+  if (__builtin_popcountll(p->present) < x) return false;
 
   // Decodable: reconstruct and verify the real data shards.
-  p.done = true;
-  bool ok = rs_.reconstruct(p.shards, p.present);
-  if (ok) {
-    for (int i = 0; i < dl && ok; ++i)
-      ok = p.shards[i] == PayloadStore::expected_data(flow_id_, block, i, shard_bytes_);
+  bool ok = rs_.reconstruct(p->arena, p->present);
+  for (int i = 0; i < dl && ok; ++i) {
+    fill_bytes(flow_id_, block, i, expected_scratch_.data(), shard_bytes_);
+    ok = std::memcmp(p->arena.shard(i), expected_scratch_.data(), shard_bytes_) == 0;
   }
   if (ok)
     ++verified_;
   else
     ++corrupt_;
-  // Free the bytes; only the outcome matters from here on.
-  p.shards.clear();
-  p.present.clear();
+  done_.set(block);
+  // Return the bytes to the pool; only the outcome matters from here on.
+  pool_.release(std::move(p->arena));
+  const std::size_t idx = static_cast<std::size_t>(p - pending_.data());
+  if (idx + 1 != pending_.size()) pending_[idx] = std::move(pending_.back());
+  pending_.pop_back();
   return ok;
 }
 

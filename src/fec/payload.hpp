@@ -3,21 +3,31 @@
 // The simulator normally models payloads as byte counts. With verification
 // enabled on a flow, the sender *actually materializes* every shard's bytes
 // (deterministically from the flow id), the parity shards are computed with
-// the real Reed–Solomon codec, packets carry a reference to their bytes,
-// and the receiver reconstructs each block from whichever >= x shards
-// arrived and checks the recovered data bit-for-bit. This closes the loop
-// between the fec/ substrate and the transport: a block the accounting
-// declares "decodable" is proven decodable on real data.
+// the real Reed–Solomon codec, packets carry a pointer to their bytes, and
+// the receiver reconstructs each block from whichever >= x shards arrived
+// and checks the recovered data bit-for-bit. This closes the loop between
+// the fec/ substrate and the transport: a block the accounting declares
+// "decodable" is proven decodable on real data.
+//
+// Memory discipline (zero per-block heap allocations in steady state):
+//   * the sender encodes into ONE stride-padded slab sized for the whole
+//     message at construction — shard pointers handed to packets stay valid
+//     for the flow's lifetime (late duplicates in deep queues may
+//     dereference them long after their block completed), and encoding a
+//     block touches no allocator;
+//   * the receiver borrows a per-block arena from a pool and returns it
+//     after the decode-and-verify, so steady state recycles the same one or
+//     two arenas forever. The pool's counters make the claim testable.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "core/bitmap.hpp"
+#include "fec/arena.hpp"
 #include "fec/block.hpp"
 #include "fec/rs.hpp"
-#include "sim/rng.hpp"
 
 namespace uno {
 
@@ -26,8 +36,9 @@ class PayloadStore {
  public:
   PayloadStore(std::uint64_t flow_id, const BlockFrame& frame, std::size_t shard_bytes);
 
-  /// Bytes of shard `seq` (encoding the block lazily on first touch).
-  const std::vector<std::uint8_t>& shard(std::uint64_t seq);
+  /// Bytes of shard `seq` (encoding the block lazily on first touch). The
+  /// returned storage lives until the store is destroyed.
+  std::span<const std::uint8_t> shard(std::uint64_t seq);
 
   /// The deterministic data bytes of a block's data shard (ground truth for
   /// the receiver-side check).
@@ -37,6 +48,8 @@ class PayloadStore {
   std::size_t shard_bytes() const { return shard_bytes_; }
   const ReedSolomon& codec() const { return rs_; }
 
+  std::uint32_t blocks_encoded() const { return blocks_encoded_; }
+
  private:
   void ensure_block(std::uint32_t block);
 
@@ -44,8 +57,11 @@ class PayloadStore {
   const BlockFrame& frame_;
   std::size_t shard_bytes_;
   ReedSolomon rs_;
-  /// block id -> all shards (data + parity), fully encoded.
-  std::unordered_map<std::uint32_t, std::vector<std::vector<std::uint8_t>>> blocks_;
+  /// All blocks' shards, codec layout: slot block*(x+y)+i, data [0,x) then
+  /// parity [x,x+y). Short last block keeps zero padding slots in place.
+  ShardArena slab_;
+  Bitset64 encoded_;  // per block
+  std::uint32_t blocks_encoded_ = 0;
 };
 
 /// Receiver side: collects arriving shard bytes and, once a block is
@@ -54,28 +70,39 @@ class PayloadVerifier {
  public:
   PayloadVerifier(std::uint64_t flow_id, const BlockFrame& frame, std::size_t shard_bytes);
 
-  /// Record an arriving shard's bytes. Returns true if this arrival
-  /// completed the block and reconstruction+verification succeeded; blocks
-  /// that were already verified or are still short return false.
-  bool on_shard(std::uint32_t block, int index, const std::vector<std::uint8_t>& bytes);
+  /// Record an arriving shard's bytes (exactly shard_bytes() of them).
+  /// Returns true if this arrival completed the block and
+  /// reconstruction+verification succeeded; blocks that were already
+  /// verified or are still short return false.
+  bool on_shard(std::uint32_t block, int index, const std::uint8_t* bytes);
 
   std::uint32_t blocks_verified() const { return verified_; }
   std::uint32_t blocks_corrupt() const { return corrupt_; }
   bool all_verified() const { return verified_ == frame_.num_blocks() && corrupt_ == 0; }
 
+  std::size_t shard_bytes() const { return shard_bytes_; }
+
+  // Pool instrumentation: steady state means acquires keeps growing while
+  // heap_allocs stays flat (every block after warm-up reuses an arena).
+  std::uint64_t pool_acquires() const { return pool_.acquires(); }
+  std::uint64_t pool_heap_allocs() const { return pool_.heap_allocs(); }
+
  private:
   struct Pending {
-    std::vector<std::vector<std::uint8_t>> shards;
-    std::vector<bool> present;
-    int have = 0;
-    bool done = false;
+    std::uint32_t block = 0;
+    std::uint64_t present = 0;  // codec-slot bitmask, the decode-cache key
+    ShardArena arena;
   };
+  Pending* find_or_open(std::uint32_t block);
 
   std::uint64_t flow_id_;
   const BlockFrame& frame_;
   std::size_t shard_bytes_;
   ReedSolomon rs_;
-  std::unordered_map<std::uint32_t, Pending> pending_;
+  ArenaPool pool_;
+  std::vector<Pending> pending_;  // few in-flight blocks; swap-erased
+  Bitset64 done_;                 // per block
+  std::vector<std::uint8_t> expected_scratch_;
   std::uint32_t verified_ = 0;
   std::uint32_t corrupt_ = 0;
 };

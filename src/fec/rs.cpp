@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <utility>
 
 #include "fec/gf256.hpp"
+#include "fec/gf256_simd.hpp"
 
 namespace uno {
 
@@ -12,28 +12,121 @@ ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
     : k_(data_shards), m_(parity_shards) {
   assert(k_ >= 1);
   assert(m_ >= 0);
-  assert(k_ + m_ <= 255);
-  matrix_.resize(k_ + m_, std::vector<std::uint8_t>(k_, 0));
-  for (int i = 0; i < k_; ++i) matrix_[i][i] = 1;
+  assert(k_ + m_ <= 64);  // erasure patterns are 64-bit present masks
+  matrix_.assign(static_cast<std::size_t>(k_ + m_) * k_, 0);
+  for (int i = 0; i < k_; ++i) matrix_[static_cast<std::size_t>(i) * k_ + i] = 1;
   for (int i = 0; i < m_; ++i) {
     for (int j = 0; j < k_; ++j) {
       const std::uint8_t xi = static_cast<std::uint8_t>(k_ + i);
       const std::uint8_t yj = static_cast<std::uint8_t>(j);
-      matrix_[k_ + i][j] = gf256::inv(gf256::add(xi, yj));
+      matrix_[static_cast<std::size_t>(k_ + i) * k_ + j] = gf256::inv(gf256::add(xi, yj));
     }
   }
 }
+
+// --- allocation-free core ----------------------------------------------------
+
+void ReedSolomon::encode(std::uint8_t* const* shards, std::size_t len) const {
+  for (int i = 0; i < m_; ++i) {
+    std::uint8_t* out = shards[k_ + i];
+    const std::uint8_t* row = matrix_row(k_ + i);
+    // First term overwrites: no memset of the parity row, and Cauchy rows
+    // have no zero coefficients, so the full row is always written.
+    gf256::mul_region(out, shards[0], row[0], len);
+    for (int j = 1; j < k_; ++j) gf256::mul_add_region(out, shards[j], row[j], len);
+  }
+}
+
+const std::uint8_t* ReedSolomon::decode_matrix(std::uint64_t row_mask,
+                                               const int* rows) const {
+  auto it = decode_cache_.find(row_mask);
+  if (it != decode_cache_.end()) {
+    ++decode_cache_hits_;
+    return it->second.data();
+  }
+  ++decode_cache_misses_;
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * k_);
+  for (int i = 0; i < k_; ++i)
+    std::copy_n(matrix_row(rows[i]), k_, sub.data() + static_cast<std::size_t>(i) * k_);
+  if (!gf_invert_matrix_flat(sub.data(), k_)) return nullptr;  // unreachable: MDS
+  return decode_cache_.emplace(row_mask, std::move(sub)).first->second.data();
+}
+
+bool ReedSolomon::reconstruct(std::uint8_t* const* shards, std::size_t len,
+                              std::uint64_t& present) const {
+  const int n = total_shards();
+  const std::uint64_t full =
+      n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  present &= full;
+  if (!decodable(present, k_)) return false;
+
+  const std::uint64_t data_mask = (std::uint64_t{1} << k_) - 1;
+  if ((present & data_mask) != data_mask) {
+    // Select the first k present rows (data rows first: identity rows make
+    // the decode matrix cheaper and the selection deterministic, so the
+    // cache key is a function of the erasure pattern alone).
+    int rows[64];
+    int nr = 0;
+    std::uint64_t row_mask = 0;
+    for (int r = 0; r < n && nr < k_; ++r) {
+      if ((present >> r) & 1) {
+        rows[nr++] = r;
+        row_mask |= std::uint64_t{1} << r;
+      }
+    }
+    const std::uint8_t* inv = decode_matrix(row_mask, rows);
+    if (inv == nullptr) return false;
+    // Missing data row j = sum_i inv[j][i] * rows[i]; sources are all
+    // present rows, outputs all missing ones, so no aliasing.
+    for (int j = 0; j < k_; ++j) {
+      if ((present >> j) & 1) continue;
+      std::uint8_t* out = shards[j];
+      const std::uint8_t* irow = inv + static_cast<std::size_t>(j) * k_;
+      gf256::mul_region(out, shards[rows[0]], irow[0], len);
+      for (int i = 1; i < k_; ++i)
+        gf256::mul_add_region(out, shards[rows[i]], irow[i], len);
+      present |= std::uint64_t{1} << j;
+    }
+  }
+
+  // Recompute any missing parity from the (now complete) data rows.
+  for (int i = 0; i < m_; ++i) {
+    if ((present >> (k_ + i)) & 1) continue;
+    std::uint8_t* out = shards[k_ + i];
+    const std::uint8_t* row = matrix_row(k_ + i);
+    gf256::mul_region(out, shards[0], row[0], len);
+    for (int j = 1; j < k_; ++j) gf256::mul_add_region(out, shards[j], row[j], len);
+    present |= std::uint64_t{1} << (k_ + i);
+  }
+  return true;
+}
+
+void ReedSolomon::encode(ShardArena& arena) const {
+  assert(arena.shard_count() == total_shards());
+  std::uint8_t* ptrs[64] = {};
+  arena.pointers(ptrs);
+  encode(ptrs, arena.shard_len());
+}
+
+bool ReedSolomon::reconstruct(ShardArena& arena, std::uint64_t& present) const {
+  assert(arena.shard_count() == total_shards());
+  std::uint8_t* ptrs[64] = {};
+  arena.pointers(ptrs);
+  return reconstruct(ptrs, arena.shard_len(), present);
+}
+
+// --- legacy vector API -------------------------------------------------------
 
 void ReedSolomon::encode(std::vector<std::vector<std::uint8_t>>& shards) const {
   assert(static_cast<int>(shards.size()) == total_shards());
   const std::size_t len = shards[0].size();
   for (int j = 1; j < k_; ++j) assert(shards[j].size() == len);
-  for (int i = 0; i < m_; ++i) {
-    auto& out = shards[k_ + i];
-    out.assign(len, 0);
-    for (int j = 0; j < k_; ++j)
-      gf256::mul_add(out.data(), shards[j].data(), matrix_[k_ + i][j], len);
+  std::uint8_t* ptrs[64] = {};
+  for (int i = 0; i < total_shards(); ++i) {
+    if (i >= k_) shards[i].resize(len);  // overwritten wholesale by encode
+    ptrs[i] = shards[i].data();
   }
+  encode(ptrs, len);
 }
 
 bool ReedSolomon::decodable(const std::vector<bool>& present, int k) {
@@ -45,86 +138,74 @@ bool ReedSolomon::decodable(const std::vector<bool>& present, int k) {
 
 bool ReedSolomon::reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
                               std::vector<bool>& present) const {
-  assert(static_cast<int>(shards.size()) == total_shards());
+  const int n = total_shards();
+  assert(static_cast<int>(shards.size()) == n);
   assert(present.size() == shards.size());
   if (!decodable(present, k_)) return false;
 
-  // Fast path: all data shards present -> just re-encode missing parity.
-  bool all_data = true;
-  for (int j = 0; j < k_; ++j) all_data &= static_cast<bool>(present[j]);
-  if (!all_data) {
-    // Select k present rows (prefer data rows for cheaper identity rows).
-    std::vector<int> rows;
-    rows.reserve(k_);
-    for (int r = 0; r < total_shards() && static_cast<int>(rows.size()) < k_; ++r)
-      if (present[r]) rows.push_back(r);
+  std::size_t len = 0;
+  for (int r = 0; r < n; ++r)
+    if (present[r]) len = std::max(len, shards[r].size());
+  std::uint64_t mask = 0;
+  std::uint8_t* ptrs[64] = {};
+  for (int r = 0; r < n; ++r) {
+    if (present[r]) {
+      assert(shards[r].size() == len);
+      mask |= std::uint64_t{1} << r;
+    } else {
+      shards[r].assign(len, 0);
+    }
+    ptrs[r] = shards[r].data();
+  }
+  if (!reconstruct(ptrs, len, mask)) return false;
+  for (int r = 0; r < n; ++r) present[r] = true;
+  return true;
+}
 
-    std::size_t len = 0;
-    for (int r : rows) len = std::max(len, shards[r].size());
+// --- matrix inversion --------------------------------------------------------
 
-    // Build the k x k decode system: sub[i] = generator row rows[i].
-    std::vector<std::vector<std::uint8_t>> sub(k_);
-    for (int i = 0; i < k_; ++i) sub[i] = matrix_[rows[i]];
-    if (!gf_invert_matrix(sub)) return false;  // unreachable for MDS matrices
-
-    // data[j] = sum_i sub[j][i] * shards[rows[i]]
-    std::vector<std::vector<std::uint8_t>> data(k_, std::vector<std::uint8_t>(len, 0));
-    for (int j = 0; j < k_; ++j)
-      for (int i = 0; i < k_; ++i)
-        gf256::mul_add(data[j].data(), shards[rows[i]].data(), sub[j][i],
-                       std::min(len, shards[rows[i]].size()));
-    for (int j = 0; j < k_; ++j) {
-      if (!present[j]) {
-        shards[j] = std::move(data[j]);
-        present[j] = true;
+bool gf_invert_matrix_flat(std::uint8_t* m, int n) {
+  // Augmented [M | I] working copy, Gauss–Jordan with partial pivoting.
+  const std::size_t w = 2 * static_cast<std::size_t>(n);
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(n) * w, 0);
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(m + static_cast<std::size_t>(i) * n, n, a.data() + i * w);
+    a[i * w + n + i] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r)
+      if (a[r * w + col] != 0) {
+        pivot = r;
+        break;
       }
+    if (pivot < 0) return false;
+    if (pivot != col)
+      std::swap_ranges(a.data() + col * w, a.data() + (col + 1) * w, a.data() + pivot * w);
+    const std::uint8_t inv = gf256::inv(a[col * w + col]);
+    for (std::size_t c = 0; c < w; ++c)
+      a[col * w + c] = gf256::mul(a[col * w + c], inv);
+    for (int r = 0; r < n; ++r) {
+      if (r == col || a[r * w + col] == 0) continue;
+      const std::uint8_t f = a[r * w + col];
+      gf256::mul_add(a.data() + r * w, a.data() + col * w, f, w);
     }
   }
-
-  // Recompute any missing parity from the (now complete) data shards.
-  bool parity_missing = false;
-  for (int i = 0; i < m_; ++i) parity_missing |= !present[k_ + i];
-  if (parity_missing) {
-    const std::size_t len = shards[0].size();
-    for (int i = 0; i < m_; ++i) {
-      if (present[k_ + i]) continue;
-      auto& out = shards[k_ + i];
-      out.assign(len, 0);
-      for (int j = 0; j < k_; ++j)
-        gf256::mul_add(out.data(), shards[j].data(), matrix_[k_ + i][j], len);
-      present[k_ + i] = true;
-    }
-  }
+  for (int i = 0; i < n; ++i)
+    std::copy_n(a.data() + i * w + n, n, m + static_cast<std::size_t>(i) * n);
   return true;
 }
 
 bool gf_invert_matrix(std::vector<std::vector<std::uint8_t>>& m) {
   const int n = static_cast<int>(m.size());
-  // Augment with identity.
+  std::vector<std::uint8_t> flat(static_cast<std::size_t>(n) * n);
   for (int i = 0; i < n; ++i) {
-    m[i].resize(2 * n, 0);
-    m[i][n + i] = 1;
+    assert(static_cast<int>(m[i].size()) == n);
+    std::copy_n(m[i].data(), n, flat.data() + static_cast<std::size_t>(i) * n);
   }
-  for (int col = 0; col < n; ++col) {
-    int pivot = -1;
-    for (int r = col; r < n; ++r)
-      if (m[r][col] != 0) {
-        pivot = r;
-        break;
-      }
-    if (pivot < 0) return false;
-    std::swap(m[col], m[pivot]);
-    const std::uint8_t inv = gf256::inv(m[col][col]);
-    for (int c = 0; c < 2 * n; ++c) m[col][c] = gf256::mul(m[col][c], inv);
-    for (int r = 0; r < n; ++r) {
-      if (r == col || m[r][col] == 0) continue;
-      const std::uint8_t f = m[r][col];
-      for (int c = 0; c < 2 * n; ++c)
-        m[r][c] = gf256::add(m[r][c], gf256::mul(f, m[col][c]));
-    }
-  }
-  // Strip the left half, keep the inverse.
-  for (int i = 0; i < n; ++i) m[i].erase(m[i].begin(), m[i].begin() + n);
+  if (!gf_invert_matrix_flat(flat.data(), n)) return false;
+  for (int i = 0; i < n; ++i)
+    std::copy_n(flat.data() + static_cast<std::size_t>(i) * n, n, m[i].data());
   return true;
 }
 

@@ -6,10 +6,22 @@
 // shards reconstruct the block — the MDS property UnoRC relies on (§3.3,
 // §4.2). This codec operates on real payload bytes; the simulator's block
 // accounting (fec/block.hpp) leans on the property proven here by tests.
+//
+// The hot path is allocation-free: shards live in a ShardArena (or any
+// caller-provided row pointers), erasure patterns are 64-bit present
+// bitmasks, and the inverted k x k decode matrix for each pattern is
+// memoized — for the paper's (8,2) code there are only 55 distinct
+// patterns, so steady-state reconstruct never re-runs Gaussian elimination.
+// The legacy vector<vector> API survives as a thin wrapper for tests and
+// tooling.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
+
+#include "fec/arena.hpp"
 
 namespace uno {
 
@@ -22,7 +34,26 @@ class ReedSolomon {
   int parity_shards() const { return m_; }
   int total_shards() const { return k_ + m_; }
 
-  /// Compute the m parity shards for k equal-length data shards.
+  // --- allocation-free core ---------------------------------------------------
+  // `shards` is a table of total_shards() row pointers, each addressing at
+  // least `len` writable bytes. Rows must not alias.
+
+  /// Compute the m parity rows [k, n) from the k data rows. The first
+  /// coefficient overwrites (gf mul), so parity rows need no pre-zeroing.
+  void encode(std::uint8_t* const* shards, std::size_t len) const;
+
+  /// Reconstruct every missing row. Bit i of `present` says row i holds
+  /// valid bytes; on success all rows are valid and `present` has all n low
+  /// bits set. Returns false when fewer than k rows are present.
+  bool reconstruct(std::uint8_t* const* shards, std::size_t len,
+                   std::uint64_t& present) const;
+
+  /// Arena conveniences: the arena must hold total_shards() shards.
+  void encode(ShardArena& arena) const;
+  bool reconstruct(ShardArena& arena, std::uint64_t& present) const;
+
+  // --- legacy vector API (wraps the pointer core) -----------------------------
+
   /// `shards` must have total_shards() entries; entries [0,k) are inputs,
   /// entries [k,n) are resized and overwritten.
   void encode(std::vector<std::vector<std::uint8_t>>& shards) const;
@@ -35,19 +66,43 @@ class ReedSolomon {
 
   /// True when the present shards suffice to decode (>= k of them).
   static bool decodable(const std::vector<bool>& present, int k);
+  static bool decodable(std::uint64_t present_mask, int k) {
+    return __builtin_popcountll(present_mask) >= k;
+  }
 
-  /// Generator-matrix row r (r < k: identity row; r >= k: Cauchy row).
-  const std::vector<std::uint8_t>& matrix_row(int r) const { return matrix_[r]; }
+  /// Generator-matrix row r (r < k: identity row; r >= k: Cauchy row),
+  /// k_ coefficients.
+  const std::uint8_t* matrix_row(int r) const { return matrix_.data() + r * k_; }
+
+  // --- decode-matrix cache stats ---------------------------------------------
+  std::size_t decode_cache_size() const { return decode_cache_.size(); }
+  std::uint64_t decode_cache_hits() const { return decode_cache_hits_; }
+  std::uint64_t decode_cache_misses() const { return decode_cache_misses_; }
 
  private:
+  /// Inverted decode matrix for the k rows selected by `row_mask` (cached).
+  const std::uint8_t* decode_matrix(std::uint64_t row_mask, const int* rows) const;
+
   int k_;
   int m_;
-  std::vector<std::vector<std::uint8_t>> matrix_;  // n x k generator
+  std::vector<std::uint8_t> matrix_;  // n x k generator, row-major
+
+  /// Selected-row bitmask -> inverted k x k decode matrix (row-major).
+  /// Bounded by the number of distinct erasure patterns (55 for (8,2)).
+  /// Mutable memoization; instances are per-flow, never shared across
+  /// threads (each parallel run constructs its own).
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> decode_cache_;
+  mutable std::uint64_t decode_cache_hits_ = 0;
+  mutable std::uint64_t decode_cache_misses_ = 0;
 };
 
 /// Invert a dense square GF(256) matrix via Gauss–Jordan. Returns false if
 /// singular (never happens for submatrices chosen from a Cauchy+identity
 /// generator, which tests verify exhaustively for the paper's (8,2) code).
 bool gf_invert_matrix(std::vector<std::vector<std::uint8_t>>& m);
+
+/// Flat variant: `m` is n x n row-major, inverted in place. Scratch-free
+/// apart from the augmented working copy the implementation keeps.
+bool gf_invert_matrix_flat(std::uint8_t* m, int n);
 
 }  // namespace uno

@@ -59,10 +59,13 @@ struct Packet {
   std::uint64_t flow_id = 0;  // identity
   std::uint64_t seq = 0;      // data: packet sequence number within the flow
   Time sent_time = 0;         // sender timestamp, echoed back in ACKs for RTT
-  /// Real shard bytes when payload verification is on (see fec/payload.hpp).
-  /// Owned by the sender's PayloadStore, which outlives every packet of the
-  /// flow; trimming nulls it (the payload is what trimming discards).
-  const std::vector<std::uint8_t>* payload = nullptr;
+  /// Real shard bytes when payload verification is on (see fec/payload.hpp):
+  /// exactly the flow's payload_shard_bytes of them (both endpoints know the
+  /// length, so the packet carries only the pointer). Owned by the sender's
+  /// PayloadStore slab, which outlives every packet of the flow — including
+  /// late duplicates still sitting in queues after the block completed;
+  /// trimming nulls it (the payload is what trimming discards).
+  const std::uint8_t* payload = nullptr;
   std::uint64_t ack_seq = 0;   // ACK: sequence number being acknowledged
   Time echo_sent_time = 0;     // ACK: sender timestamp echoed back
   const Route* route = nullptr;  // source routing

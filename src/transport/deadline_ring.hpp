@@ -1,0 +1,78 @@
+// Flat deadline tracking for EC block reassembly timers.
+//
+// The receiver NACKs blocks whose reassembly deadline passes. Blocks
+// complete nearly in order and only a window's worth are ever pending, so a
+// red-black tree (std::map) on the per-packet path is pure overhead: node
+// allocation per incomplete block, pointer chasing per lookup. This is a
+// flat array kept sorted by block id (insertion is almost always a
+// push_back; out-of-order inserts shift a handful of tail entries), which
+// preserves the std::map iteration order the NACK schedule was tuned on and
+// reuses its capacity forever — no allocation in steady state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uno {
+
+class DeadlineRing {
+ public:
+  struct Entry {
+    std::uint32_t block;
+    Time deadline;
+  };
+
+  /// Insert `block` or update its deadline. Keeps entries sorted by block.
+  void set(std::uint32_t block, Time deadline) {
+    for (std::size_t i = entries_.size(); i > 0; --i) {
+      if (entries_[i - 1].block == block) {
+        entries_[i - 1].deadline = deadline;
+        return;
+      }
+      if (entries_[i - 1].block < block) {
+        entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(i),
+                        Entry{block, deadline});
+        return;
+      }
+    }
+    entries_.insert(entries_.begin(), Entry{block, deadline});
+  }
+
+  /// Drop `block` if pending.
+  void erase(std::uint32_t block) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].block == block) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Earliest pending deadline, or kTimeInfinity when none.
+  Time earliest() const {
+    Time t = kTimeInfinity;
+    for (const Entry& e : entries_) t = e.deadline < t ? e.deadline : t;
+    return t;
+  }
+
+  /// Visit expired entries in block order; `fn(block)` returns the new
+  /// deadline for that block (re-arm semantics of the NACK retry schedule).
+  template <typename Fn>
+  void expire(Time now, Fn&& fn) {
+    for (Entry& e : entries_) {
+      if (e.deadline > now) continue;
+      e.deadline = fn(e.block);
+    }
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace uno

@@ -121,7 +121,7 @@ bool FlowSender::send_packet(std::uint64_t seq, bool is_retransmit) {
   p.is_parity = shard.parity;
   p.retransmit = is_retransmit;
   p.src_host = params_.src;
-  if (payload_store_) p.payload = &payload_store_->shard(seq);
+  if (payload_store_) p.payload = payload_store_->shard(seq).data();
   p.sent_time = eq_.now();
   p.entropy = entropy;
   p.subflow = static_cast<std::uint8_t>(entropy & 0xFF);
@@ -367,7 +367,7 @@ FlowReceiver::FlowReceiver(EventQueue& eq, const FlowParams& params, const PathS
       frame_(params.size_bytes, params.mtu, params.ec_enabled, params.ec_data,
              params.ec_parity),
       block_timer_(eq, this, 1) {
-  received_.assign(frame_.total_packets(), false);
+  received_.assign(frame_.total_packets());
   if (params_.verify_payload && frame_.ec_enabled())
     verifier_ = std::make_unique<PayloadVerifier>(params_.id, frame_,
                                                   params_.payload_shard_bytes);
@@ -388,20 +388,19 @@ void FlowReceiver::receive(Packet p) {
   assert(seq < frame_.total_packets());
   last_entropy_ = p.entropy;
 
-  if (!received_[seq]) {
-    received_[seq] = true;
+  if (!received_.test_and_set(seq)) {
     ++received_count_;
     const std::uint32_t block = p.block_id;
     frame_.mark(seq);
     if (verifier_ && p.payload != nullptr)
-      verifier_->on_shard(block, p.shard, *p.payload);
+      verifier_->on_shard(block, p.shard, p.payload);
     if (frame_.ec_enabled()) {
       if (frame_.block_complete(block)) {
         block_deadline_.erase(block);
       } else {
         // (Re)start the reassembly timer: any arrival is progress, so the
         // NACK deadline counts from the latest shard, not the first.
-        block_deadline_[block] = eq_.now() + params_.block_timeout;
+        block_deadline_.set(block, eq_.now() + params_.block_timeout);
         arm_block_timer();
       }
     }
@@ -424,8 +423,7 @@ void FlowReceiver::send_nack(std::uint32_t block, std::uint16_t entropy) {
 }
 
 void FlowReceiver::arm_block_timer() {
-  Time earliest = kTimeInfinity;
-  for (const auto& [block, deadline] : block_deadline_) earliest = std::min(earliest, deadline);
+  const Time earliest = block_deadline_.earliest();
   if (earliest == kTimeInfinity) {
     block_timer_.cancel();
     return;
@@ -436,12 +434,11 @@ void FlowReceiver::arm_block_timer() {
 
 void FlowReceiver::on_event(std::uint64_t) {
   const Time now = eq_.now();
-  for (auto& [block, deadline] : block_deadline_) {
-    if (deadline > now) continue;
+  block_deadline_.expire(now, [&](std::uint32_t block) {
     send_nack(block, last_entropy_);
     // Re-NACK later if the retransmission round trip also fails.
-    deadline = now + params_.base_rtt + params_.block_timeout;
-  }
+    return now + params_.base_rtt + params_.block_timeout;
+  });
   arm_block_timer();
 }
 

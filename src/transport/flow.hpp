@@ -16,11 +16,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/bitmap.hpp"
 #include "fec/block.hpp"
 #include "fec/payload.hpp"
 #include "lb/loadbalancer.hpp"
@@ -29,6 +29,7 @@
 #include "sim/event.hpp"
 #include "topo/pathset.hpp"
 #include "transport/cc.hpp"
+#include "transport/deadline_ring.hpp"
 
 namespace uno {
 
@@ -123,6 +124,14 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   std::uint32_t payload_blocks_corrupt() const {
     return verifier_ ? verifier_->blocks_corrupt() : 0;
   }
+  /// Arena-pool counters (0 unless verify_payload): heap allocs flat while
+  /// acquires grows is the zero-allocation steady-state contract.
+  std::uint64_t payload_pool_acquires() const {
+    return verifier_ ? verifier_->pool_acquires() : 0;
+  }
+  std::uint64_t payload_pool_heap_allocs() const {
+    return verifier_ ? verifier_->pool_heap_allocs() : 0;
+  }
   bool message_complete() const { return frame_.complete(); }
 
  private:
@@ -137,15 +146,16 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   BlockFrame frame_;  // per-block shard accounting (degenerate for non-EC)
   std::unique_ptr<PayloadVerifier> verifier_;  // only with verify_payload
 
-  std::vector<bool> received_;
+  Bitset64 received_;
   std::uint64_t received_count_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t nacks_sent_ = 0;
   std::uint64_t trims_seen_ = 0;
   std::uint16_t last_entropy_ = 0;
 
-  /// Pending incomplete blocks: block id -> NACK deadline.
-  std::map<std::uint32_t, Time> block_deadline_;
+  /// Pending incomplete blocks and their NACK deadlines (flat, sorted,
+  /// allocation-free in steady state — see transport/deadline_ring.hpp).
+  DeadlineRing block_deadline_;
   Timer block_timer_;
 };
 

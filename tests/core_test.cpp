@@ -2,6 +2,7 @@
 // experiment wiring (queue marking per scheme, flow parameter derivation).
 #include <gtest/gtest.h>
 
+#include "core/bitmap.hpp"
 #include "core/experiment.hpp"
 #include "transport/bbr.hpp"
 #include "transport/swift.hpp"
@@ -134,6 +135,86 @@ TEST(Experiment, DeadlineReturnsFalseWhenUnfinished) {
   Experiment ex(cfg);
   ex.spawn({0, 16 + 4, 100 << 20, 0, true});  // 100 MiB cannot finish in 1 ms
   EXPECT_FALSE(ex.run_to_completion(kMillisecond));
+}
+
+// --- Bitset64 (core/bitmap.hpp) ----------------------------------------------
+
+TEST(Bitset64, BasicSetTestReset) {
+  Bitset64 b(130);  // three words, partial last
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(b.test(i));
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 7u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 6u);
+}
+
+TEST(Bitset64, TestAndSetReturnsPrevious) {
+  Bitset64 b(70);
+  EXPECT_FALSE(b.test_and_set(69));
+  EXPECT_TRUE(b.test_and_set(69));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitset64, AssignClears) {
+  Bitset64 b(10);
+  b.set(3);
+  b.assign(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset64, WindowWithinOneWord) {
+  Bitset64 b(128);
+  b.set(10);
+  b.set(12);
+  b.set(19);
+  EXPECT_EQ(b.window(10, 10), 0b1000000101u);
+  EXPECT_EQ(b.window(10, 3), 0b101u);
+  EXPECT_EQ(b.window(0, 10), 0u);
+  EXPECT_EQ(b.window(0, 0), 0u);
+}
+
+TEST(Bitset64, WindowStraddlesWordBoundary) {
+  // Shard windows rarely align to 64; bits must flow across the seam.
+  Bitset64 b(192);
+  b.set(60);
+  b.set(63);
+  b.set(64);
+  b.set(70);
+  EXPECT_EQ(b.window(60, 11), (1u << 0) | (1u << 3) | (1u << 4) | (1u << 10));
+  EXPECT_EQ(b.window(63, 2), 0b11u);
+  // Full 64-bit window starting mid-word.
+  b.set(123);
+  EXPECT_EQ(b.window(60, 64),
+            (1ull << 0) | (1ull << 3) | (1ull << 4) | (1ull << 10) | (1ull << 63));
+}
+
+TEST(Bitset64, WindowAtTailOfLastWord) {
+  Bitset64 b(100);
+  b.set(98);
+  b.set(99);
+  EXPECT_EQ(b.window(96, 4), 0b1100u);
+  EXPECT_EQ(b.window(99, 1), 1u);
+}
+
+TEST(Bitset64, CountRangeMatchesBruteForce) {
+  Bitset64 b(300);
+  for (std::size_t i = 0; i < 300; i += 7) b.set(i);
+  for (std::size_t pos : {0u, 1u, 63u, 64u, 90u, 200u}) {
+    for (std::size_t n : {0u, 1u, 10u, 64u, 65u, 100u}) {
+      if (pos + n > 300) continue;
+      std::size_t want = 0;
+      for (std::size_t i = pos; i < pos + n; ++i) want += b.test(i);
+      EXPECT_EQ(b.count_range(pos, n), want) << pos << "+" << n;
+    }
+  }
 }
 
 }  // namespace

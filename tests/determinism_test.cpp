@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <tuple>
 
 #include "core/experiment.hpp"
 #include "fec/block.hpp"
+#include "fec/gf256_simd.hpp"
 #include "workload/traffic.hpp"
 
 namespace uno {
@@ -55,6 +57,54 @@ TEST(Determinism, DifferentSeedsDiffer) {
   bool any_diff = a.size() != c.size();
   for (std::size_t i = 0; !any_diff && i < a.size(); ++i) any_diff = a[i] != c[i];
   EXPECT_TRUE(any_diff);
+}
+
+// --- kernel invariance --------------------------------------------------------
+
+/// Lossy WAN transfer with payload verification, under a forced GF(256)
+/// kernel. Returns (completion time, verified blocks, sender retransmits).
+std::tuple<Time, std::uint32_t, std::uint64_t> run_verified_lossy(gf256::Kernel k) {
+  gf256::set_kernel(k);
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  cfg.scheme = SchemeSpec::uno();
+  Experiment ex(cfg);
+  for (int d = 0; d < 2; ++d)
+    for (int j = 0; j < ex.topo().cross_link_count(); ++j)
+      ex.topo().cross_link(d, j).set_loss_model(
+          std::make_unique<BernoulliLoss>(0.01, Rng::stream(31, d * 8 + j)));
+  FlowSpec spec{2, 16 + 9, 2 << 20, 0, true};
+  FlowParams params = ex.flow_params(spec);
+  params.id = 424242;
+  params.verify_payload = true;
+  params.payload_shard_bytes = 256;
+  const PathSet& paths = ex.topo().paths(spec.src, spec.dst);
+  auto cc = make_cc(CcKind::kUno, ex.cc_params(spec), ex.config().uno);
+  auto lb = make_lb(LbKind::kUnoLb, params.id,
+                    static_cast<std::uint16_t>(paths.size()), params.base_rtt,
+                    ex.config().uno, ex.config().seed);
+  Flow flow(ex.eq(), ex.topo().host(spec.src), ex.topo().host(spec.dst), params,
+            &paths, std::move(cc), std::move(lb));
+  flow.start();
+  ex.run_until(kSecond);
+  return {ex.eq().now(), flow.receiver().payload_blocks_verified(),
+          flow.sender().retransmits()};
+}
+
+TEST(Determinism, SimulationBitExactAcrossGfKernels) {
+  // GF(2^8) arithmetic is exact, so swapping the vector kernel must not
+  // perturb the simulation at all: same verified-block count, same
+  // retransmit count, same final event time under every supported kernel.
+  const gf256::Kernel initial = gf256::active_kernel();
+  const auto reference = run_verified_lossy(gf256::Kernel::kScalar);
+  EXPECT_EQ(std::get<1>(reference), 64u);  // all blocks decoded + verified
+  for (gf256::Kernel k : {gf256::Kernel::kSsse3, gf256::Kernel::kAvx2,
+                          gf256::Kernel::kNeon}) {
+    if (!gf256::kernel_supported(k)) continue;
+    const auto got = run_verified_lossy(k);
+    EXPECT_EQ(got, reference) << gf256::kernel_name(k);
+  }
+  gf256::set_kernel(initial);
 }
 
 // --- randomized BlockFrame properties ----------------------------------------

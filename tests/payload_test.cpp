@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "fec/payload.hpp"
 
 namespace uno {
 namespace {
+
+std::vector<std::uint8_t> bytes_of(std::span<const std::uint8_t> s) {
+  return {s.begin(), s.end()};
+}
 
 // --- unit level ---------------------------------------------------------------
 
@@ -19,16 +24,24 @@ TEST(Payload, StoreShardsAreDeterministic) {
   PayloadStore b(42, frame, 128);
   PayloadStore c(43, frame, 128);
   for (std::uint64_t seq : {0ull, 7ull, 8ull, 9ull, 10ull, 19ull}) {
-    EXPECT_EQ(a.shard(seq), b.shard(seq)) << seq;
+    EXPECT_EQ(bytes_of(a.shard(seq)), bytes_of(b.shard(seq))) << seq;
   }
-  EXPECT_NE(a.shard(0), c.shard(0));  // keyed by flow id
+  EXPECT_NE(bytes_of(a.shard(0)), bytes_of(c.shard(0)));  // keyed by flow id
 }
 
 TEST(Payload, DataShardsMatchExpected) {
   BlockFrame frame(16 * 4096, 4096, true, 8, 2);
   PayloadStore store(7, frame, 128);
   for (int i = 0; i < 8; ++i)
-    EXPECT_EQ(store.shard(i), PayloadStore::expected_data(7, 0, i, 128));
+    EXPECT_EQ(bytes_of(store.shard(i)), PayloadStore::expected_data(7, 0, i, 128));
+}
+
+TEST(Payload, StoreEncodesEachBlockOnce) {
+  BlockFrame frame(16 * 4096, 4096, true, 8, 2);
+  PayloadStore store(21, frame, 128);
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t seq = 0; seq < frame.total_packets(); ++seq) store.shard(seq);
+  EXPECT_EQ(store.blocks_encoded(), frame.num_blocks());
 }
 
 TEST(Payload, VerifierAcceptsFullBlock) {
@@ -36,7 +49,7 @@ TEST(Payload, VerifierAcceptsFullBlock) {
   PayloadStore store(9, frame, 128);
   PayloadVerifier v(9, frame, 128);
   for (int i = 0; i < 8; ++i) {
-    const bool completed = v.on_shard(0, i, store.shard(i));
+    const bool completed = v.on_shard(0, i, store.shard(i).data());
     EXPECT_EQ(completed, i == 7);
   }
   EXPECT_EQ(v.blocks_verified(), 1u);
@@ -54,7 +67,7 @@ TEST_P(PayloadErasureTest, ReconstructsFromAnyEightOfTen) {
   PayloadVerifier v(11, frame, 256);
   for (int i = 0; i < 10; ++i) {
     if (i == skip1 || i == skip2) continue;
-    v.on_shard(0, i, store.shard(i));
+    v.on_shard(0, i, store.shard(i).data());
   }
   EXPECT_EQ(v.blocks_verified(), 1u);
   EXPECT_EQ(v.blocks_corrupt(), 0u);
@@ -69,10 +82,10 @@ TEST(Payload, CorruptShardDetected) {
   BlockFrame frame(8 * 4096, 4096, true, 8, 2);
   PayloadStore store(13, frame, 128);
   PayloadVerifier v(13, frame, 128);
-  for (int i = 0; i < 7; ++i) v.on_shard(0, i, store.shard(i));
-  std::vector<std::uint8_t> bad = store.shard(7);
+  for (int i = 0; i < 7; ++i) v.on_shard(0, i, store.shard(i).data());
+  std::vector<std::uint8_t> bad = bytes_of(store.shard(7));
   bad[5] ^= 0xFF;
-  v.on_shard(0, 7, bad);
+  v.on_shard(0, 7, bad.data());
   EXPECT_EQ(v.blocks_corrupt(), 1u);
   EXPECT_FALSE(v.all_verified());
 }
@@ -86,7 +99,7 @@ TEST(Payload, ShortLastBlockVerifies) {
   const std::uint64_t first = frame.first_seq_of_block(1);
   for (std::uint64_t seq = first + 1; seq < first + 5; ++seq) {
     const auto s = frame.shard_of(seq);
-    v.on_shard(1, s.index, store.shard(seq));
+    v.on_shard(1, s.index, store.shard(seq).data());
   }
   EXPECT_EQ(v.blocks_verified(), 1u);
   EXPECT_EQ(v.blocks_corrupt(), 0u);
@@ -97,10 +110,53 @@ TEST(Payload, DuplicatesIgnored) {
   PayloadStore store(19, frame, 64);
   PayloadVerifier v(19, frame, 64);
   for (int rep = 0; rep < 3; ++rep)
-    for (int i = 0; i < 5; ++i) v.on_shard(0, i, store.shard(i));
+    for (int i = 0; i < 5; ++i) v.on_shard(0, i, store.shard(i).data());
   EXPECT_EQ(v.blocks_verified(), 0u);  // still only 5 distinct shards
-  for (int i = 5; i < 8; ++i) v.on_shard(0, i, store.shard(i));
+  for (int i = 5; i < 8; ++i) v.on_shard(0, i, store.shard(i).data());
   EXPECT_EQ(v.blocks_verified(), 1u);
+}
+
+TEST(Payload, VerifierSteadyStateAllocationFree) {
+  // Zero per-block heap allocations once warm: blocks decode one at a time,
+  // so the verifier's arena pool must recycle a single arena — acquires()
+  // grows per block while heap_allocs() stays pinned at the warm-up count.
+  const std::uint32_t blocks = 64;
+  BlockFrame frame(blocks * 8 * 512, 512, true, 8, 2);
+  PayloadStore store(23, frame, 64);
+  PayloadVerifier v(23, frame, 64);
+  ASSERT_EQ(frame.num_blocks(), blocks);
+  std::uint64_t warm_allocs = 0;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::uint64_t first = frame.first_seq_of_block(b);
+    // Erase a rotating pair so reconstruct (not just copy-through) runs.
+    const int skip1 = static_cast<int>(b % 10);
+    const int skip2 = static_cast<int>((b / 10 + 3) % 10);
+    for (int i = 0; i < 10; ++i) {
+      if (i == skip1 || i == skip2) continue;
+      v.on_shard(b, i, store.shard(first + static_cast<std::uint64_t>(i)).data());
+    }
+    if (b == 0) warm_allocs = v.pool_heap_allocs();
+  }
+  EXPECT_EQ(v.blocks_verified(), blocks);
+  EXPECT_EQ(v.pool_heap_allocs(), warm_allocs) << "verifier allocated per block";
+  EXPECT_EQ(v.pool_acquires(), static_cast<std::uint64_t>(blocks));
+  // The sender side is one slab for the whole flow, encoded lazily.
+  EXPECT_EQ(store.blocks_encoded(), blocks);
+}
+
+TEST(Payload, InterleavedBlocksReusepooledArenas) {
+  // Two blocks in flight at once -> pool high-water of two arenas, still no
+  // growth afterwards.
+  BlockFrame frame(4 * 8 * 512, 512, true, 8, 2);
+  PayloadStore store(29, frame, 64);
+  PayloadVerifier v(29, frame, 64);
+  for (int i = 0; i < 8; ++i) {
+    for (std::uint32_t b = 0; b < 4; ++b)
+      v.on_shard(b, i, store.shard(frame.first_seq_of_block(b) + i).data());
+  }
+  EXPECT_EQ(v.blocks_verified(), 4u);
+  EXPECT_EQ(v.pool_acquires(), 4u);
+  EXPECT_LE(v.pool_heap_allocs(), 4u);
 }
 
 // --- transport level ----------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "core/experiment.hpp"
 #include "stats/sampler.hpp"
 #include "transport/dctcp.hpp"
+#include "transport/deadline_ring.hpp"
 
 namespace uno {
 namespace {
@@ -180,6 +181,65 @@ TEST(Transport, ManyParallelFlowsAllComplete) {
   ASSERT_TRUE(ex.run_to_completion(100 * kMillisecond));
   EXPECT_EQ(ex.flows_completed(), 8u);
   EXPECT_EQ(ex.fct().count(), 8u);
+}
+
+// --- DeadlineRing (transport/deadline_ring.hpp) ------------------------------
+
+TEST(DeadlineRing, SetEraseEarliest) {
+  DeadlineRing r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.earliest(), kTimeInfinity);
+  r.set(3, 300);
+  r.set(1, 100);
+  r.set(2, 200);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.earliest(), Time{100});
+  r.set(1, 500);  // update, not duplicate
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.earliest(), Time{200});
+  r.erase(2);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.earliest(), Time{300});
+  r.erase(99);  // absent: no-op
+  EXPECT_EQ(r.size(), 2u);
+  r.erase(1);
+  r.erase(3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(DeadlineRing, ExpireVisitsInBlockOrderAndRearms) {
+  // The NACK schedule was tuned on std::map iteration order (ascending
+  // block id); the flat ring must preserve it regardless of insert order.
+  DeadlineRing r;
+  r.set(7, 50);
+  r.set(2, 40);
+  r.set(5, 60);
+  r.set(4, 999);
+  std::vector<std::uint32_t> fired;
+  r.expire(60, [&](std::uint32_t block) {
+    fired.push_back(block);
+    return Time{1000 + block};
+  });
+  EXPECT_EQ(fired, (std::vector<std::uint32_t>{2, 5, 7}));
+  // Expired entries got the re-armed deadlines; 4 is untouched.
+  EXPECT_EQ(r.earliest(), Time{999});
+  fired.clear();
+  r.expire(1002, [&](std::uint32_t block) {
+    fired.push_back(block);
+    return Time{2000};
+  });
+  EXPECT_EQ(fired, (std::vector<std::uint32_t>{2, 4}));  // 999 and 1002 due
+}
+
+TEST(DeadlineRing, OutOfOrderInsertKeepsSortedSweep) {
+  DeadlineRing r;
+  for (std::uint32_t b : {10u, 3u, 7u, 1u, 9u, 0u}) r.set(b, 5);
+  std::vector<std::uint32_t> fired;
+  r.expire(5, [&](std::uint32_t block) {
+    fired.push_back(block);
+    return kTimeInfinity;
+  });
+  EXPECT_EQ(fired, (std::vector<std::uint32_t>{0, 1, 3, 7, 9, 10}));
 }
 
 }  // namespace

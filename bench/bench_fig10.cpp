@@ -38,11 +38,11 @@ int main() {
       auto specs = make_poisson_mixed(bench::hosts_of(ex), intra_sizes, inter_sizes, pc);
       ex.spawn_all(specs);
       const bool done = ex.run_to_completion(horizon);
-      if (!bench::csv_dir().empty()) {
+      {
         char name[160];
-        std::snprintf(name, sizeof(name), "%s/fig10_fcts_%s_load%.0f.csv",
-                      bench::csv_dir().c_str(), scheme.name.c_str(), load * 100);
-        write_flow_results_csv(name, ex.fct().results());
+        std::snprintf(name, sizeof(name), "fig10_fcts_%s_load%.0f.csv",
+                      scheme.name.c_str(), load * 100);
+        bench::recorder().flow_results(name, ex.fct().results());
       }
       const auto intra = ex.fct().summarize(FctCollector::Class::kIntra);
       const auto inter = ex.fct().summarize(FctCollector::Class::kInter);

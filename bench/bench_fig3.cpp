@@ -55,10 +55,10 @@ int main() {
     for (const FlowResult& r : ex.fct().results())
       makespan = std::max(makespan, to_milliseconds(r.start_time + r.completion_time));
     const Time conv = rs.convergence_time(0.9);
-    if (!bench::csv_dir().empty()) {
+    {
       std::vector<const TimeSeries*> all;
       for (std::size_t f = 0; f < rs.num_watched(); ++f) all.push_back(&rs.series(f));
-      write_time_series_csv(bench::csv_dir() + "/fig3_rates_" + scheme.name + ".csv", all);
+      bench::recorder().time_series("fig3_rates_" + scheme.name + ".csv", all);
     }
 
     summary.add_row({scheme.name, done ? "yes" : "no", Table::fmt(makespan, 1),

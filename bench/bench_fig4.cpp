@@ -58,10 +58,9 @@ int main() {
     const TimeSeries& series = qs.physical(0);
     for (std::size_t i = 0; i < series.size(); ++i)
       if (series.t[i] >= measure_from) occ_kib.push_back(series.v[i] / 1024.0);
-    if (!bench::csv_dir().empty())
-      write_time_series_csv(bench::csv_dir() + "/fig4_queue_" +
-                                std::string(phantom ? "phantom" : "nophantom") + ".csv",
-                            {&series, &qs.phantom(0)});
+    bench::recorder().time_series(
+        "fig4_queue_" + std::string(phantom ? "phantom" : "nophantom") + ".csv",
+        {&series, &qs.phantom(0)});
     const Distribution d = Distribution::of(occ_kib);
     occ.add_row({scheme.name, Table::fmt(d.mean, 1), Table::fmt(d.p99, 1),
                  Table::fmt(d.max, 1)});

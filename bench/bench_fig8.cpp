@@ -60,13 +60,13 @@ int main() {
       ex.run_to_completion(horizon);
       rs.stop();
       cs.stop();
-      if (!bench::csv_dir().empty()) {
+      {
         std::vector<const TimeSeries*> all;
         for (std::size_t f = 0; f < cs.num_watched(); ++f) all.push_back(&cs.series(f));
         char name[160];
-        std::snprintf(name, sizeof(name), "%s/fig8_cwnd_%s_%dintra_%dinter.csv",
-                      bench::csv_dir().c_str(), scheme.name.c_str(), sc.intra, sc.inter);
-        write_time_series_csv(name, all);
+        std::snprintf(name, sizeof(name), "fig8_cwnd_%s_%dintra_%dinter.csv",
+                      scheme.name.c_str(), sc.intra, sc.inter);
+        bench::recorder().time_series(name, all);
       }
 
       const auto all = ex.fct().summarize();

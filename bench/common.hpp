@@ -15,7 +15,7 @@
 
 #include "core/experiment.hpp"
 #include "core/parallel.hpp"
-#include "stats/csv.hpp"
+#include "obs/recorder.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
 #include "workload/traffic.hpp"
@@ -31,11 +31,16 @@ inline double scale() {
   return s;
 }
 
-/// Directory for raw CSV dumps (UNO_BENCH_CSV_DIR); empty = disabled.
-inline std::string csv_dir() {
-  const char* env = std::getenv("UNO_BENCH_CSV_DIR");
-  return env ? std::string(env) : std::string();
+/// Shared export surface for raw artifact dumps: enabled (writing under
+/// UNO_BENCH_CSV_DIR) iff the variable is set, disabled (all writes no-op)
+/// otherwise — call sites don't check, they just write.
+inline const Recorder& recorder() {
+  static const Recorder r = Recorder::from_env();
+  return r;
 }
+
+/// Deprecated: query bench::recorder() instead.
+inline std::string csv_dir() { return recorder().dir(); }
 
 inline std::uint64_t seed() {
   static const std::uint64_t s = [] {

@@ -111,6 +111,17 @@ Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
       eq_, make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed));
   fct_ = FctCollector(
       FctCollector::pipe_ideal(cfg_.uno.link_rate, cfg_.uno.intra_rtt, cfg_.uno.inter_rtt));
+  if (cfg_.trace.enabled) {
+    Tracer::Options topt;
+    topt.categories = cfg_.trace.categories;
+    topt.ring_capacity = cfg_.trace.ring_capacity;
+    topt.depth_sample_interval = cfg_.trace.depth_sample_interval;
+    tracer_ = std::make_unique<Tracer>(topt);
+    // Components register in topology-build order — a pure function of the
+    // config — so traces are byte-identical across runs and --jobs levels.
+    for (Queue* q : topo_->all_queues())
+      q->set_trace({tracer_.get(), tracer_->add_component(q->name())});
+  }
   if (cfg_.scheme.annulus) {
     qcn_ = std::make_unique<QcnDispatcher>(eq_, *topo_, cfg_.uno.qcn_feedback_delay);
     for (int d = 0; d < topo_->num_dcs(); ++d)
@@ -119,8 +130,10 @@ Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
   }
   // The injector draws from its own RNG stream family off the experiment
   // seed, so adding/removing faults never perturbs workload or LB draws.
-  if (!cfg_.faults.empty())
+  if (!cfg_.faults.empty()) {
     faults_ = std::make_unique<FaultInjector>(eq_, *topo_, cfg_.faults, cfg_.seed);
+    if (tracer_) faults_->set_trace({tracer_.get(), tracer_->add_component("faults")});
+  }
 }
 
 FlowParams Experiment::flow_params(const FlowSpec& spec) const {
@@ -173,6 +186,9 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
   auto flow = std::make_unique<Flow>(eq_, topo_->host(spec.src), topo_->host(spec.dst),
                                      params, &paths, std::move(cc), std::move(lb),
                                      std::move(callback));
+  if (tracer_)
+    flow->set_trace(
+        {tracer_.get(), tracer_->add_component("flow:" + std::to_string(params.id))});
   flow->start();
   flows_.push_back(std::move(flow));
   return flows_.back()->sender();
@@ -180,6 +196,73 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
 
 void Experiment::spawn_all(const std::vector<FlowSpec>& specs) {
   for (const FlowSpec& spec : specs) spawn(spec);
+}
+
+void Experiment::snapshot_metrics(MetricRegistry& m) const {
+  m.set_counter("flows.spawned", flows_.size());
+  m.set_counter("flows.completed", completed_);
+  m.set_counter("sim.events_dispatched", eq_.dispatched());
+  m.set_gauge("sim.time_us", to_microseconds(eq_.now()));
+  m.set_counter("fabric.drops", topo_->total_drops());
+  m.set_counter("fabric.trims", topo_->total_trims());
+
+  std::uint64_t forwarded = 0, ecn_marked = 0;
+  for (const Queue* q : topo_->all_queues()) {
+    forwarded += q->forwarded();
+    ecn_marked += q->ecn_marked();
+  }
+  m.set_counter("fabric.forwarded", forwarded);
+  m.set_counter("fabric.ecn_marked", ecn_marked);
+
+  std::uint64_t pkts = 0, rtx = 0, nacks = 0, fec_masked = 0, bytes = 0;
+  for (const FlowResult& r : fct_.results()) {
+    pkts += r.packets_sent;
+    rtx += r.retransmits;
+    nacks += r.nacks;
+    fec_masked += r.fec_masked;
+    bytes += r.size_bytes;
+  }
+  m.set_counter("flows.packets_sent", pkts);
+  m.set_counter("flows.retransmits", rtx);
+  m.set_counter("flows.nacks", nacks);
+  m.set_counter("flows.fec_masked", fec_masked);
+  m.set_counter("flows.bytes_completed", bytes);
+
+  const FctSummary all = fct_.summarize(FctCollector::Class::kAll);
+  const FctSummary intra = fct_.summarize(FctCollector::Class::kIntra);
+  const FctSummary inter = fct_.summarize(FctCollector::Class::kInter);
+  m.set_gauge("fct.all.mean_us", all.mean_us);
+  m.set_gauge("fct.all.p99_us", all.p99_us);
+  m.set_gauge("fct.intra.mean_us", intra.mean_us);
+  m.set_gauge("fct.intra.p99_us", intra.p99_us);
+  m.set_gauge("fct.inter.mean_us", inter.mean_us);
+  m.set_gauge("fct.inter.p99_us", inter.p99_us);
+
+  if (qcn_) m.set_counter("qcn.delivered", qcn_->delivered());
+  if (faults_) m.set_counter("faults.actions", faults_->actions());
+  if (tracer_) {
+    m.set_counter("trace.components", tracer_->num_components());
+    m.set_counter("trace.events", tracer_->total_events());
+    m.set_counter("trace.dropped", tracer_->total_dropped());
+  }
+}
+
+ExperimentResult Experiment::result(Recorder recorder) const {
+  ExperimentResult r;
+  r.flows_spawned = flows_.size();
+  r.flows_completed = completed_;
+  r.all_complete = all_complete();
+  r.sim_time = eq_.now();
+  r.events_dispatched = eq_.dispatched();
+  r.fabric_drops = topo_->total_drops();
+  r.fabric_trims = topo_->total_trims();
+  r.fct_all = fct_.summarize(FctCollector::Class::kAll);
+  r.fct_intra = fct_.summarize(FctCollector::Class::kIntra);
+  r.fct_inter = fct_.summarize(FctCollector::Class::kInter);
+  r.flows = fct_.results();
+  snapshot_metrics(r.metrics);
+  r.recorder = std::move(recorder);
+  return r;
 }
 
 bool Experiment::run_to_completion(Time deadline) {

@@ -13,6 +13,7 @@
 #include "core/scheme.hpp"
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
+#include "obs/recorder.hpp"
 #include "stats/fct.hpp"
 #include "topo/interdc.hpp"
 #include "workload/traffic.hpp"
@@ -28,6 +29,44 @@ struct ExperimentConfig {
   /// Declarative fault timeline, executed by a FaultInjector the experiment
   /// owns (see src/faults). Empty = fault-free run.
   FaultPlan faults;
+
+  /// Flight-recorder wiring (src/obs). When enabled the experiment owns a
+  /// Tracer and registers every switch port, every flow, and the fault
+  /// injector as trace components; export via result().recorder or
+  /// Experiment::tracer().
+  struct TraceOptions {
+    bool enabled = false;
+    std::uint32_t categories = kTraceAllCategories;
+    std::size_t ring_capacity = 1 << 10;  // events per component
+    /// Simulated time between queue-depth counter samples per port
+    /// (Tracer::Options::depth_sample_interval).
+    Time depth_sample_interval = 4 * kMicrosecond;
+  };
+  TraceOptions trace;
+};
+
+/// End-of-run snapshot: the run's aggregates, per-flow records, and scalar
+/// metrics in one place, plus the Recorder every export goes through (the
+/// one-stop replacement for scattered write_*_csv calls).
+struct ExperimentResult {
+  std::size_t flows_spawned = 0;
+  std::size_t flows_completed = 0;
+  bool all_complete = false;
+  Time sim_time = 0;  // eq.now() when the snapshot was taken
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t fabric_drops = 0;
+  std::uint64_t fabric_trims = 0;
+  FctSummary fct_all, fct_intra, fct_inter;
+  std::vector<FlowResult> flows;  // completion order
+  MetricRegistry metrics;
+  Recorder recorder;  // disabled unless the caller provides one
+
+  bool write_flows(const std::string& file) const {
+    return recorder.flow_results(file, flows);
+  }
+  bool write_metrics(const std::string& file) const {
+    return recorder.metrics(file, metrics);
+  }
 };
 
 /// Delivers Annulus-style QCN notifications from source-side switch ports
@@ -91,6 +130,15 @@ class Experiment {
   QcnDispatcher* qcn_dispatcher() { return qcn_.get(); }
   /// Fault injector (null for a fault-free run).
   FaultInjector* fault_injector() { return faults_.get(); }
+  /// Flight recorder (null unless config().trace.enabled).
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+
+  /// Snapshot the run into an ExperimentResult. `recorder` becomes the
+  /// result's export surface (default: disabled, writes no-op).
+  ExperimentResult result(Recorder recorder = Recorder()) const;
+  /// Fill `m` with the run's scalar counters/gauges (called by result()).
+  void snapshot_metrics(MetricRegistry& m) const;
 
   /// Build the topology config implied by (UnoConfig, scheme): RED on every
   /// port; phantom queues on top when the scheme uses phantom marking.
@@ -104,6 +152,7 @@ class Experiment {
   FctCollector fct_;
   std::unique_ptr<QcnDispatcher> qcn_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<Tracer> tracer_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::size_t completed_ = 0;
   std::uint64_t next_flow_id_ = 1;

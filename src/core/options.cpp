@@ -1,0 +1,231 @@
+#include "core/options.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace uno {
+
+OptionSet::OptionSet(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void OptionSet::begin_group(const std::string& title) { group_ = title; }
+
+void OptionSet::add(Opt o) {
+  assert(find(o.name) == nullptr && "duplicate option");
+  o.group = group_;
+  opts_.push_back(std::move(o));
+}
+
+void OptionSet::add_flag(const std::string& name, const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.help = help;
+  o.type = Type::kFlag;
+  add(std::move(o));
+}
+
+void OptionSet::add_num(const std::string& name, double def,
+                        const std::string& value_name, const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.value_name = value_name;
+  o.help = help;
+  o.type = Type::kNum;
+  o.num_def = def;
+  add(std::move(o));
+}
+
+void OptionSet::add_str(const std::string& name, const std::string& def,
+                        const std::string& value_name, const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.value_name = value_name;
+  o.help = help;
+  o.type = Type::kStr;
+  o.str_def = def;
+  add(std::move(o));
+}
+
+OptionSet::Opt* OptionSet::find(const std::string& name) {
+  for (Opt& o : opts_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+const OptionSet::Opt* OptionSet::find(const std::string& name) const {
+  return const_cast<OptionSet*>(this)->find(name);
+}
+
+bool OptionSet::assign(Opt& o, const std::string& value, std::string* err) {
+  o.set = true;
+  if (o.type == Type::kStr) {
+    o.str_val = value;
+    return true;
+  }
+  char* end = nullptr;
+  o.num_val = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    *err = "bad value for --" + o.name + ": '" + value + "' (expected a number)";
+    return false;
+  }
+  return true;
+}
+
+bool OptionSet::parse(int argc, char** argv, std::string* err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      *err = "unexpected argument: " + arg + " (options start with --)";
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      has_value = true;
+      arg = arg.substr(0, eq);
+    }
+    Opt* o = find(arg);
+    if (o == nullptr) {
+      *err = "unknown flag: --" + arg;
+      const std::string near = suggest(arg);
+      if (!near.empty()) *err += " (did you mean --" + near + "?)";
+      *err += "; see --help";
+      return false;
+    }
+    if (o->type == Type::kFlag) {
+      if (has_value) {
+        *err = "--" + arg + " is a switch and takes no value";
+        return false;
+      }
+      o->set = true;
+      continue;
+    }
+    if (!has_value) {
+      // `--key value`: the value is the next argv entry. Another option
+      // (leading "--") does not count; a negative number does.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        *err = "missing value for --" + arg + " (expected --" + arg + " " +
+               (o->value_name.empty() ? "VALUE" : o->value_name) + ")";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(*o, value, err)) return false;
+  }
+  return true;
+}
+
+bool OptionSet::has(const std::string& name) const {
+  const Opt* o = find(name);
+  assert(o != nullptr && "has() on unregistered option");
+  return o != nullptr && o->set;
+}
+
+bool OptionSet::flag(const std::string& name) const { return has(name); }
+
+double OptionSet::num(const std::string& name) const {
+  const Opt* o = find(name);
+  assert(o != nullptr && o->type == Type::kNum);
+  if (o == nullptr) return 0;
+  return o->set ? o->num_val : o->num_def;
+}
+
+std::string OptionSet::str(const std::string& name) const {
+  const Opt* o = find(name);
+  assert(o != nullptr && o->type == Type::kStr);
+  if (o == nullptr) return {};
+  return o->set ? o->str_val : o->str_def;
+}
+
+std::size_t OptionSet::edit_distance(const std::string& a, const std::string& b) {
+  // Single-row Levenshtein; option names are short so O(|a||b|) is nothing.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string OptionSet::suggest(const std::string& name) const {
+  std::string best;
+  std::size_t best_d = name.size();  // never suggest a full rewrite
+  for (const Opt& o : opts_) {
+    const std::size_t d = edit_distance(name, o.name);
+    if (d < best_d) {
+      best_d = d;
+      best = o.name;
+    }
+  }
+  // A suggestion further than 3 edits away (or longer than half the typed
+  // name) reads as noise, not help.
+  if (best_d > 3 || best_d * 2 > std::max<std::size_t>(2, name.size())) return {};
+  return best;
+}
+
+std::string OptionSet::help_text() const {
+  std::string out = program_ + " — " + summary_ + "\n\nusage: " + program_ +
+                    " [--flag | --key value | --key=value]...\n";
+
+  // Left column width across every group keeps the sections aligned.
+  std::size_t width = 0;
+  for (const Opt& o : opts_) {
+    std::size_t w = 2 + o.name.size();  // "--name"
+    if (!o.value_name.empty()) w += 1 + o.value_name.size();
+    width = std::max(width, w);
+  }
+
+  std::vector<std::string> groups;
+  for (const Opt& o : opts_)
+    if (std::find(groups.begin(), groups.end(), o.group) == groups.end())
+      groups.push_back(o.group);
+
+  char buf[256];
+  for (const std::string& g : groups) {
+    out += "\n";
+    if (!g.empty()) out += g + ":\n";
+    for (const Opt& o : opts_) {
+      if (o.group != g) continue;
+      std::string left = "--" + o.name;
+      if (!o.value_name.empty()) left += " " + o.value_name;
+      std::string def;
+      if (o.type == Type::kNum) {
+        std::snprintf(buf, sizeof(buf), "%g", o.num_def);
+        def = buf;
+      } else if (o.type == Type::kStr) {
+        def = o.str_def.empty() ? "-" : o.str_def;
+      }
+      // Multi-line help: continuation lines align under the first.
+      std::string line;
+      std::snprintf(buf, sizeof(buf), "  %-*s  ", static_cast<int>(width), left.c_str());
+      line = buf;
+      const std::string indent(line.size(), ' ');
+      std::string help = o.help;
+      std::size_t pos = 0, nl = 0;
+      bool first = true;
+      while ((nl = help.find('\n', pos)) != std::string::npos) {
+        line += (first ? "" : indent) + help.substr(pos, nl - pos) + "\n";
+        pos = nl + 1;
+        first = false;
+      }
+      line += (first ? "" : indent) + help.substr(pos);
+      if (!def.empty()) line += "  [" + def + "]";
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace uno

@@ -83,6 +83,8 @@ void FaultInjector::apply(std::size_t i) {
   const FaultEvent& e = plan_.events[i];
   Targets& t = targets_[i];
   Saved& s = saved_[i];
+  UNO_TRACE_EVENT(trace_, TraceKind::kFaultApply, eq_.now(), i,
+                  static_cast<std::uint64_t>(e.kind));
   switch (e.kind) {
     case FaultKind::kLinkDown:
       set_links_up(i, false);
@@ -132,6 +134,8 @@ void FaultInjector::restore(std::size_t i) {
   const FaultEvent& e = plan_.events[i];
   Targets& t = targets_[i];
   Saved& s = saved_[i];
+  UNO_TRACE_EVENT(trace_, TraceKind::kFaultRestore, eq_.now(), i,
+                  static_cast<std::uint64_t>(e.kind));
   switch (e.kind) {
     case FaultKind::kLinkDown:
       set_links_up(i, true);

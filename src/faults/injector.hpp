@@ -15,6 +15,7 @@
 #include "net/link.hpp"
 #include "net/loss.hpp"
 #include "net/queue.hpp"
+#include "obs/trace.hpp"
 #include "sim/event.hpp"
 
 namespace uno {
@@ -40,6 +41,9 @@ class FaultInjector final : public EventHandler {
   std::size_t queues_matched(std::size_t i) const { return targets_[i].queues.size(); }
   /// Targets that matched no element (almost always a typo in the pattern).
   const std::vector<std::string>& unmatched() const { return unmatched_; }
+
+  /// Attach the fault timeline to a flight recorder (kFault instants).
+  void set_trace(TraceContext tc) { trace_ = tc; }
 
  private:
   // Tags encode (event index, phase).
@@ -73,6 +77,7 @@ class FaultInjector final : public EventHandler {
   std::vector<Saved> saved_;
   std::vector<std::string> unmatched_;
   std::uint64_t actions_ = 0;
+  TraceContext trace_;
 };
 
 }  // namespace uno

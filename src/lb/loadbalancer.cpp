@@ -39,7 +39,7 @@ void PlbLb::end_round(Time now) {
                                 static_cast<double>(acked_in_round_);
   if (frac >= params_.ecn_fraction_threshold) {
     if (++congested_rounds_ >= params_.congested_rounds_to_repath) {
-      repath();
+      repath(now);
       congested_rounds_ = 0;
     }
   } else {
@@ -50,16 +50,17 @@ void PlbLb::end_round(Time now) {
   marked_in_round_ = 0;
 }
 
-void PlbLb::on_timeout(Time) {
+void PlbLb::on_timeout(Time now) {
   // PLB repaths immediately on retransmission timeout.
-  repath();
+  repath(now);
   congested_rounds_ = 0;
 }
 
-void PlbLb::repath() {
+void PlbLb::repath(Time now) {
   if (num_paths_ <= 1) return;
   std::uint16_t next = path_;
   while (next == path_) next = static_cast<std::uint16_t>(rng_.uniform_below(num_paths_));
+  UNO_TRACE_EVENT(trace_, TraceKind::kRepath, now, path_, next);
   path_ = next;
   ++repaths_;
 }
@@ -168,6 +169,7 @@ void UnoLb::reroute(std::uint16_t bad_entropy, Time now) {
   subflow_entropy_[victim] = chosen;
   last_reroute_ = now;
   ++reroutes_;
+  UNO_TRACE_EVENT(trace_, TraceKind::kReroute, now, bad_entropy, chosen);
 }
 
 }  // namespace uno

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -36,6 +37,13 @@ class LoadBalancer {
   virtual void on_timeout(Time now) { (void)now; }
 
   virtual const char* name() const = 0;
+
+  /// Attach to a flight recorder. Path-changing strategies (UnoLb, PlbLb)
+  /// emit reroute/repath instants under TraceCategory::kLb.
+  void set_trace(TraceContext tc) { trace_ = tc; }
+
+ protected:
+  TraceContext trace_;
 };
 
 class EcmpLb final : public LoadBalancer {
@@ -81,7 +89,7 @@ class PlbLb final : public LoadBalancer {
 
  private:
   void end_round(Time now);
-  void repath();
+  void repath(Time now);
 
   Params params_;
   std::uint16_t num_paths_;

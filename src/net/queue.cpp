@@ -34,14 +34,19 @@ std::int64_t Queue::phantom_occupancy(Time now) const {
   return phantom_bytes_;
 }
 
-bool Queue::should_mark(std::int64_t occupancy_after, Time now) {
+bool Queue::should_mark(std::int64_t occupancy_after, Time now, bool* phantom_source) {
+  *phantom_source = false;
   if (force_ecn_) return true;  // gray failure: marking stuck on
   double p = 0.0;
-  if (cfg_.red.enabled) p = std::max(p, red_probability(cfg_.red, occupancy_after));
+  if (cfg_.red.enabled) p = red_probability(cfg_.red, occupancy_after);
   if (cfg_.phantom.enabled) {
     // Update the lazily-drained counter, then account for this packet.
     const std::int64_t phantom = phantom_occupancy(now);
-    p = std::max(p, red_probability(cfg_.phantom.red, phantom));
+    const double pp = red_probability(cfg_.phantom.red, phantom);
+    if (pp >= p && pp > 0.0) {
+      p = pp;
+      *phantom_source = true;
+    }
   }
   return p > 0.0 && rng_.chance(p);
 }
@@ -55,6 +60,7 @@ void Queue::receive(Packet p) {
     // its own small buffer.
     if (ctrl_occupancy_ + p.size > cfg_.control_capacity_bytes) {
       ++drops_;
+      UNO_TRACE_EVENT(trace_, TraceKind::kQueueDrop, now, p.flow_id, p.seq);
       if (drop_hook_) drop_hook_(p);
       return;
     }
@@ -72,12 +78,14 @@ void Queue::receive(Packet p) {
       p.trimmed = true;
       p.payload = nullptr;  // the payload is exactly what trimming discards
       ++trims_;
+      UNO_TRACE_EVENT(trace_, TraceKind::kQueueTrim, now, p.flow_id, p.seq);
       ctrl_occupancy_ += p.size;
       ctrl_q_.push_back(std::move(p));
       if (!busy_) start_service();
       return;
     }
     ++drops_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kQueueDrop, now, p.flow_id, p.seq);
     if (drop_hook_) drop_hook_(p);
     return;
   }
@@ -89,18 +97,32 @@ void Queue::receive(Packet p) {
     phantom_bytes_ = std::min<std::int64_t>(phantom_bytes_ + p.size,
                                             cfg_.phantom.effective_cap());
   }
-  if (p.ecn_capable && should_mark(occupancy_ + p.size, now)) {
+  bool phantom_mark = false;
+  if (p.ecn_capable && should_mark(occupancy_ + p.size, now, &phantom_mark)) {
     p.ecn_ce = true;
     ++ecn_marked_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kEcnMark, now, p.flow_id, phantom_mark ? 1 : 0);
   }
   if (cfg_.qcn.enabled && qcn_hook_ && occupancy_ + p.size > cfg_.qcn.threshold_bytes &&
       (last_qcn_ < 0 || now - last_qcn_ >= cfg_.qcn.min_interval)) {
     last_qcn_ = now;
     ++qcn_sent_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kQcnNotify, now, p.flow_id, occupancy_ + p.size);
     qcn_hook_(p);
   }
   occupancy_ += p.size;
   max_occupancy_ = std::max(max_occupancy_, occupancy_);
+#if UNO_TRACE_COMPILED
+  // Depth samples are decimated in simulated time: one counter point per
+  // depth_sample_interval per port bounds the trace volume (an enqueue-rate
+  // sample stream would dominate every other category combined and blow the
+  // <3% tracing overhead budget on cache misses alone).
+  if (trace_.tracer != nullptr && now >= trace_depth_next_) {
+    trace_depth_next_ = now + trace_depth_interval_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kQueueDepth, now, occupancy_,
+                    cfg_.phantom.enabled ? phantom_bytes_ : 0);
+  }
+#endif
   q_.push_back(std::move(p));
   if (!busy_) start_service();
 }

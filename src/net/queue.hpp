@@ -16,6 +16,7 @@
 
 #include "core/ring.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
 
@@ -108,8 +109,18 @@ class Queue final : public PacketSink, public EventHandler {
   void set_force_ecn(bool forced) { force_ecn_ = forced; }
   bool force_ecn() const { return force_ecn_; }
 
+  /// Attach this port to a flight recorder (obs/trace.hpp).
+  void set_trace(TraceContext tc) {
+    trace_ = tc;
+    if (tc.tracer != nullptr)
+      trace_depth_interval_ = tc.tracer->options().depth_sample_interval;
+  }
+
  private:
-  bool should_mark(std::int64_t occupancy_after, Time now);
+  /// Marking decision for a data packet. When it marks, *phantom_source is
+  /// set iff the phantom queue's RED probability dominated the physical one
+  /// (i.e. the phantom queue is what caused the mark).
+  bool should_mark(std::int64_t occupancy_after, Time now, bool* phantom_source);
   void start_service();
 
   EventQueue& eq_;
@@ -128,6 +139,13 @@ class Queue final : public PacketSink, public EventHandler {
   std::int64_t ctrl_occupancy_ = 0;  // control bytes queued
   bool busy_ = false;
   bool serving_ctrl_ = false;  // which lane the in-progress serialization uses
+
+  // Kept beside the hot fields above: every enqueue tests trace_.tracer and
+  // the depth decimation deadline, and parking them at the end of the class
+  // costs an extra cache line per packet.
+  TraceContext trace_;
+  Time trace_depth_next_ = 0;      // next allowed kQueueDepth sample
+  Time trace_depth_interval_ = 0;  // from Tracer::Options::depth_sample_interval
 
   // Phantom queue state: drained lazily whenever observed.
   mutable std::int64_t phantom_bytes_ = 0;

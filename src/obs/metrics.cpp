@@ -1,0 +1,69 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace uno {
+
+const MetricRegistry::Entry* MetricRegistry::find(const std::string& name) const {
+  for (const Entry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+MetricRegistry::Entry& MetricRegistry::upsert(const std::string& name) {
+  for (Entry& e : entries_)
+    if (e.name == name) return e;
+  entries_.push_back(Entry{name, true, 0, 0});
+  return entries_.back();
+}
+
+void MetricRegistry::set_counter(const std::string& name, std::uint64_t value) {
+  Entry& e = upsert(name);
+  e.is_counter = true;
+  e.count = value;
+}
+
+void MetricRegistry::set_gauge(const std::string& name, double value) {
+  Entry& e = upsert(name);
+  e.is_counter = false;
+  e.value = value;
+}
+
+std::uint64_t MetricRegistry::counter(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->count : 0;
+}
+
+double MetricRegistry::gauge(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->value : 0.0;
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{\n";
+  char buf[128];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    int n;
+    if (e.is_counter)
+      n = std::snprintf(buf, sizeof(buf), "  \"%s\": %" PRIu64 "%s\n", e.name.c_str(),
+                        e.count, i + 1 < entries_.size() ? "," : "");
+    else
+      n = std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n", e.name.c_str(), e.value,
+                        i + 1 < entries_.size() ? "," : "");
+    if (n > 0) out.append(buf);
+  }
+  out += "}\n";
+  return out;
+}
+
+bool MetricRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace uno

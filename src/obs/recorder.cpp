@@ -1,0 +1,88 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uno {
+
+Recorder Recorder::from_env(const char* var) {
+  const char* dir = std::getenv(var);
+  if (dir == nullptr || dir[0] == '\0') return Recorder{};
+  return Recorder{std::string(dir)};
+}
+
+std::string Recorder::path_for(const std::string& file) const {
+  if (file.empty() || file.front() == '/') return file;
+  if (dir_.empty() || dir_ == ".") return file;
+  if (dir_.back() == '/') return dir_ + file;
+  return dir_ + "/" + file;
+}
+
+std::string Recorder::Csv::fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Recorder::Csv::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+Recorder::Csv Recorder::csv(const std::string& file) const {
+  // A disabled recorder hands back a writer on an unopenable path so the
+  // caller's ok() check short-circuits the row loop.
+  if (!enabled_) return Csv{std::string{}};
+  return Csv{path_for(file)};
+}
+
+bool Recorder::time_series(const std::string& file,
+                           const std::vector<const TimeSeries*>& series) const {
+  if (!enabled_ || series.empty()) return false;
+  Csv w = csv(file);
+  if (!w.ok()) return false;
+  std::vector<std::string> header{"time_us"};
+  for (const TimeSeries* s : series) header.push_back(s->label);
+  w.row(header);
+  const std::size_t rows = series[0]->size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> cells{Csv::fmt(to_microseconds(series[0]->t[i]))};
+    for (const TimeSeries* s : series)
+      cells.push_back(i < s->size() ? Csv::fmt(s->v[i]) : "");
+    w.row(cells);
+  }
+  return true;
+}
+
+bool Recorder::flow_results(const std::string& file,
+                            const std::vector<FlowResult>& results) const {
+  if (!enabled_) return false;
+  Csv w = csv(file);
+  if (!w.ok()) return false;
+  w.row({"id", "src", "dst", "interdc", "bytes", "start_us", "fct_us", "pkts", "rtx",
+         "nacks", "fec_masked"});
+  for (const FlowResult& r : results) {
+    w.row({std::to_string(r.id), std::to_string(r.src), std::to_string(r.dst),
+           r.interdc ? "1" : "0", std::to_string(r.size_bytes),
+           Csv::fmt(to_microseconds(r.start_time)),
+           Csv::fmt(to_microseconds(r.completion_time)), std::to_string(r.packets_sent),
+           std::to_string(r.retransmits), std::to_string(r.nacks),
+           std::to_string(r.fec_masked)});
+  }
+  return true;
+}
+
+bool Recorder::metrics(const std::string& file, const MetricRegistry& m) const {
+  if (!enabled_) return false;
+  return m.write_json(path_for(file));
+}
+
+bool Recorder::trace(const std::string& file, const Tracer& t) const {
+  if (!enabled_) return false;
+  return t.write_chrome_trace(path_for(file));
+}
+
+}  // namespace uno

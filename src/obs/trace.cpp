@@ -1,0 +1,213 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+
+namespace uno {
+
+namespace {
+
+struct KindInfo {
+  const char* name;
+  const char* arg_a;  // JSON key for TraceEvent::a
+  const char* arg_b;  // JSON key for TraceEvent::b (nullptr = omit)
+};
+
+/// Indexed by TraceKind. Names are what Perfetto displays; keep them short.
+constexpr KindInfo kKinds[kNumTraceKinds] = {
+    {"queue_depth", "bytes", "phantom_bytes"},
+    {"drop", "flow", "seq"},
+    {"trim", "flow", "seq"},
+    {"ecn_mark", "flow", "phantom"},
+    {"qcn_notify", "flow", "occupancy"},
+    {"cwnd", "cwnd", "ecn"},
+    {"md_decision", "cwnd", "md_ppm"},
+    {"quick_adapt", "cwnd_before", "cwnd_after"},
+    {"rto_collapse", "cwnd", nullptr},
+    {"reroute", "old_entropy", "new_entropy"},
+    {"repath", "old_path", "new_path"},
+    {"block_decoded", "block", "shards_rcvd"},
+    {"nack_sent", "block", "entropy"},
+    {"nack_received", "block", "requeued"},
+    {"retransmit", "seq", "entropy"},
+    {"fec_masked", "masked", "total_shards"},
+    {"fault_apply", "event", "kind"},
+    {"fault_restore", "event", "kind"},
+};
+
+struct CategoryInfo {
+  const char* name;
+  TraceCategory cat;
+};
+constexpr CategoryInfo kCategories[] = {
+    {"queue", TraceCategory::kQueue}, {"cc", TraceCategory::kCc},
+    {"lb", TraceCategory::kLb},       {"rc", TraceCategory::kRc},
+    {"fault", TraceCategory::kFault},
+};
+
+void append(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+/// Minimal JSON string escaping (component names contain [a-z0-9.:_-] in
+/// practice, but faults can carry user-supplied glob patterns).
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      append(out, "\\u%04x", ch);
+    } else {
+      out.push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::drain() {
+  for (std::size_t i = 0; i < stage_n_; ++i) {
+    const TraceEvent& e = stage_[i];
+    Component& c = components_[e.component];
+    // Size the ring once, on the component's first event: doubling growth
+    // would copy every live event per step, and the pages of the untouched
+    // tail are never faulted in, so over-reserving is free.
+    if (c.ring.capacity() == 0) c.ring.reserve(opt_.ring_capacity);
+    if (c.ring.size() >= opt_.ring_capacity) {
+      c.ring.pop_front();  // oldest-dropped: the tail of a run matters most
+      ++c.dropped;
+    }
+    c.ring.push_back(e);
+  }
+  stage_n_ = 0;
+}
+
+std::size_t Tracer::total_events() const {
+  sync();
+  std::size_t n = 0;
+  for (const Component& c : components_) n += c.ring.size();
+  return n;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  sync();
+  std::uint64_t n = 0;
+  for (const Component& c : components_) n += c.dropped;
+  return n;
+}
+
+const char* Tracer::kind_name(TraceKind k) {
+  return kKinds[static_cast<std::uint16_t>(k)].name;
+}
+
+const char* Tracer::category_name(TraceCategory c) {
+  for (const CategoryInfo& ci : kCategories)
+    if (ci.cat == c) return ci.name;
+  return "?";
+}
+
+bool Tracer::parse_categories(const std::string& list, std::uint32_t* mask,
+                              std::string* err) {
+  std::uint32_t out = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string token = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token == "all") {
+      out |= kTraceAllCategories;
+      continue;
+    }
+    bool found = false;
+    for (const CategoryInfo& ci : kCategories) {
+      if (token == ci.name) {
+        out |= static_cast<std::uint32_t>(ci.cat);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (err) {
+        *err = "unknown trace category: " + token + " (expected all";
+        for (const CategoryInfo& ci : kCategories) *err += std::string(",") + ci.name;
+        *err += ")";
+      }
+      return false;
+    }
+  }
+  *mask = out;
+  return true;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  sync();
+  // Merge every component's ring into global (time, component, ring-order)
+  // order. The per-ring order is emission order, so a stable sort on time
+  // alone reproduces it, and pre-sorting by component id makes cross-
+  // component ties deterministic too.
+  struct Ref {
+    Time t;
+    std::uint32_t comp;
+    std::uint32_t idx;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(total_events());
+  for (std::uint32_t c = 0; c < components_.size(); ++c)
+    for (std::size_t i = 0; i < components_[c].ring.size(); ++i)
+      refs.push_back(Ref{components_[c].ring[i].t, c, static_cast<std::uint32_t>(i)});
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& x, const Ref& y) { return x.t < y.t; });
+
+  std::string out;
+  out.reserve(96 + 160 * refs.size() + 96 * components_.size());
+  out += "{\"traceEvents\":[\n";
+  append(out, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+              "\"args\":{\"name\":\"uno\"}}");
+  for (std::uint32_t c = 0; c < components_.size(); ++c) {
+    append(out, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                "\"args\":{\"name\":\"",
+           c + 1);
+    append_escaped(out, components_[c].name);
+    out += "\"}}";
+  }
+  for (const Ref& r : refs) {
+    const TraceEvent& e = components_[r.comp].ring[r.idx];
+    const auto kind = static_cast<TraceKind>(e.kind);
+    const KindInfo& ki = kKinds[e.kind];
+    // Simulated ps -> fractional us; %.6f keeps picosecond exactness, so the
+    // byte stream is a pure function of the recorded events.
+    append(out, ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",", ki.name,
+           category_name(trace_category(kind)), is_counter_kind(kind) ? "C" : "i");
+    if (!is_counter_kind(kind)) out += "\"s\":\"t\",";
+    append(out, "\"ts\":%.6f,\"pid\":0,\"tid\":%u,\"args\":{\"%s\":%" PRIu64,
+           to_microseconds(e.t), r.comp + 1, ki.arg_a, e.a);
+    if (ki.arg_b != nullptr) append(out, ",\"%s\":%" PRIu64, ki.arg_b, e.b);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace uno

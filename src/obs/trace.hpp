@@ -1,0 +1,257 @@
+// Typed binary flight recorder — the observability layer's hot half.
+//
+// Instrumented components append fixed-size POD TraceEvent records into
+// per-component PodRing buffers owned by a Tracer. The emit path is built to
+// vanish when it is not wanted:
+//  * compile-time: -DUNO_TRACE=OFF (cmake) defines UNO_NO_TRACE and the
+//    UNO_TRACE_EVENT macro expands to nothing — zero code on the hot path;
+//  * runtime: components carry a TraceContext {tracer, component id} that is
+//    null unless the experiment enables tracing, so untraced runs pay one
+//    pointer load + branch per site;
+//  * category mask: each TraceKind belongs to a TraceCategory; emission is
+//    skipped unless the tracer's runtime bitmask includes it.
+// Rings are bounded (oldest event dropped on overflow, drop count kept), so
+// tracing never allocates on the hot path after a ring reaches capacity and
+// memory stays bounded no matter how long the run is.
+//
+// The cold half (export) turns the rings into a Chrome trace_event JSON file
+// loadable in Perfetto / chrome://tracing: instants for discrete events
+// (drops, reroutes, NACKs, faults), counter tracks for evolving values
+// (queue occupancy, cwnd) so Fig. 3/4/8-style timelines come straight out
+// of the UI. Serialization is deterministic: same simulation, same bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ring.hpp"
+#include "sim/time.hpp"
+
+namespace uno {
+
+/// Event categories, used as runtime filter bits (--trace-categories).
+enum class TraceCategory : std::uint32_t {
+  kQueue = 1u << 0,  // switch ports: enqueue/drop/trim/ECN/phantom/QCN
+  kCc = 1u << 1,     // congestion control: cwnd, MD decisions, Quick Adapt
+  kLb = 1u << 2,     // load balancing: UnoLB reroutes, PLB repaths
+  kRc = 1u << 3,     // reliable connectivity: blocks, NACKs, rtx, FEC masking
+  kFault = 1u << 4,  // fault-injection timeline
+};
+inline constexpr std::uint32_t kTraceAllCategories = 0x1F;
+
+/// Every event kind the simulator can record. Keep the taxonomy table in
+/// DESIGN.md §11 in sync when adding kinds.
+enum class TraceKind : std::uint16_t {
+  // queue (kQueue)
+  kQueueDepth = 0,   // counter: a = physical occupancy, b = phantom occupancy
+  kQueueDrop,        // instant: a = flow id, b = seq
+  kQueueTrim,        // instant: a = flow id, b = seq
+  kEcnMark,          // instant: a = flow id, b = 1 if the phantom queue marked
+  kQcnNotify,        // instant: a = flow id, b = occupancy
+  // congestion control (kCc)
+  kCwnd,             // counter: a = cwnd bytes, b = 1 if the acked pkt was CE
+  kMdDecision,       // instant: a = cwnd after MD, b = MD fraction in ppm
+  kQuickAdapt,       // instant: a = cwnd before, b = cwnd after
+  kCcRtoCollapse,    // instant: a = cwnd after collapse
+  // load balancing (kLb)
+  kReroute,          // instant: a = old entropy, b = new entropy
+  kRepath,           // instant: a = old path, b = new path (PLB)
+  // reliable connectivity / UnoRC (kRc)
+  kBlockDecoded,     // instant: a = block id, b = shards received so far
+  kNackSent,         // instant: a = block id, b = entropy blamed
+  kNackReceived,     // instant: a = block id, b = shards queued for rtx
+  kRetransmit,       // instant: a = seq, b = entropy
+  kFecMasked,        // instant: a = shards masked by parity, b = total shards
+  // faults (kFault)
+  kFaultApply,       // instant: a = plan event index, b = FaultKind
+  kFaultRestore,     // instant: a = plan event index, b = FaultKind
+};
+inline constexpr std::uint16_t kNumTraceKinds =
+    static_cast<std::uint16_t>(TraceKind::kFaultRestore) + 1;
+
+/// Category each kind belongs to (dense table lookup on the emit path).
+constexpr TraceCategory trace_category(TraceKind k) {
+  constexpr TraceCategory kCat[kNumTraceKinds] = {
+      TraceCategory::kQueue, TraceCategory::kQueue, TraceCategory::kQueue,
+      TraceCategory::kQueue, TraceCategory::kQueue,
+      TraceCategory::kCc,    TraceCategory::kCc,    TraceCategory::kCc,
+      TraceCategory::kCc,
+      TraceCategory::kLb,    TraceCategory::kLb,
+      TraceCategory::kRc,    TraceCategory::kRc,    TraceCategory::kRc,
+      TraceCategory::kRc,    TraceCategory::kRc,
+      TraceCategory::kFault, TraceCategory::kFault,
+  };
+  return kCat[static_cast<std::uint16_t>(k)];
+}
+
+/// One recorded event: 32-byte POD, written in one shot on the hot path.
+/// Plain cached stores on purpose: only the write-head line of each ring is
+/// ever hot (~one line per emitting component), and 32-byte interleaved
+/// non-temporal stores measured ~12x slower — partially filled
+/// write-combining buffers degrade into read-modify-write line transfers.
+struct TraceEvent {
+  Time t = 0;                   // simulated picoseconds
+  std::uint32_t component = 0;  // Tracer component id
+  std::uint16_t kind = 0;       // TraceKind
+  std::uint16_t reserved = 0;
+  std::uint64_t a = 0;          // kind-specific payload (see TraceKind)
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay one half cache line");
+
+class Tracer {
+ public:
+  struct Options {
+    std::uint32_t categories = kTraceAllCategories;
+    /// Per-component ring capacity in events; oldest events are discarded
+    /// once a component exceeds it (drop counts are reported per component).
+    /// The default keeps the per-component write working set small enough to
+    /// stay cache-resident on busy runs — raising it costs emit-path cache
+    /// misses before it costs memory.
+    std::size_t ring_capacity = 1 << 10;
+    /// Simulated time between kQueueDepth samples per port. Depth is the one
+    /// stream proportional to packet rate x port count, so this is the main
+    /// fidelity/overhead dial: at 1 us a busy fabric's depth samples outnumber
+    /// every other category combined.
+    Time depth_sample_interval = 4 * kMicrosecond;
+  };
+
+  Tracer() = default;
+  explicit Tracer(Options opt) : opt_(opt) {
+    if (opt_.ring_capacity == 0) opt_.ring_capacity = 1;
+  }
+
+  /// Register a named component (a queue, a flow, a CC instance, ...) and
+  /// get the id to emit against. Registration order is the export tie-break
+  /// for same-timestamp events, so register deterministically.
+  std::uint32_t add_component(std::string name) {
+    components_.push_back(Component{{}, 0, std::move(name)});
+    return static_cast<std::uint32_t>(components_.size() - 1);
+  }
+
+  const Options& options() const { return opt_; }
+  bool enabled(TraceCategory c) const {
+    return (opt_.categories & static_cast<std::uint32_t>(c)) != 0;
+  }
+  std::uint32_t categories() const { return opt_.categories; }
+  void set_categories(std::uint32_t mask) { opt_.categories = mask; }
+
+  /// Append one record. Callers are expected to have checked enabled();
+  /// emit() rechecks nothing but the staging bound.
+  ///
+  /// Two-level capture: events first land in one shared staging buffer and
+  /// are scattered into their per-component rings in batches (drain()).
+  /// Consecutive emits usually come from *different* components microseconds
+  /// of simulated time apart, so writing per-component state directly would
+  /// take ~2 cache misses per event (measured ~125 ns); the staging head is
+  /// written by every event and stays hot (~3 ns), and the drain pass
+  /// amortizes the scattered misses under memory-level parallelism.
+  void emit(std::uint32_t component, TraceKind kind, Time t, std::uint64_t a = 0,
+            std::uint64_t b = 0) {
+    if (stage_n_ == kStageCapacity) drain();
+    if (stage_ == nullptr) stage_.reset(new TraceEvent[kStageCapacity]);
+    stage_[stage_n_++] =
+        TraceEvent{t, component, static_cast<std::uint16_t>(kind), 0, a, b};
+  }
+
+  // --- introspection ---------------------------------------------------------
+  // Readers sync() first: staged events move to their home rings before any
+  // of them is observed, so the two-level capture is invisible from outside.
+  std::size_t num_components() const { return components_.size(); }
+  const std::string& component_name(std::uint32_t id) const { return components_[id].name; }
+  std::size_t events(std::uint32_t id) const {
+    sync();
+    return components_[id].ring.size();
+  }
+  std::uint64_t dropped(std::uint32_t id) const {
+    sync();
+    return components_[id].dropped;
+  }
+  const TraceEvent& event(std::uint32_t id, std::size_t i) const {
+    sync();
+    return components_[id].ring[i];
+  }
+  std::size_t total_events() const;
+  std::uint64_t total_dropped() const;
+
+  // --- export ----------------------------------------------------------------
+  /// Chrome trace_event JSON (Perfetto / chrome://tracing). Deterministic:
+  /// events are globally ordered by (time, component id, per-ring order).
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Parse a comma-separated category list ("cc,lb,queue"; "all" = every
+  /// category) into a bitmask. Returns false and sets *err on unknown names.
+  static bool parse_categories(const std::string& list, std::uint32_t* mask,
+                               std::string* err);
+  static const char* category_name(TraceCategory c);
+  static const char* kind_name(TraceKind k);
+  /// Counter-track kinds render as "ph":"C" (value graphs); others as
+  /// instants ("ph":"i").
+  static bool is_counter_kind(TraceKind k) {
+    return k == TraceKind::kQueueDepth || k == TraceKind::kCwnd;
+  }
+
+ private:
+  // Ring first, name last: emit() touches only the leading fields, and an
+  // 80-byte entry with the string up front would drag the (cold) name line
+  // into cache on every scattered emit.
+  struct Component {
+    PodRing<TraceEvent> ring;
+    std::uint64_t dropped = 0;
+    std::string name;
+  };
+
+  /// Scatter every staged event into its component's ring (applying the
+  /// ring-capacity bound and drop accounting) and reset the staging count.
+  void drain();
+  /// Logical-constness shim for readers: draining moves events to where the
+  /// public API already reports them, it never changes what is observable.
+  void sync() const {
+    if (stage_n_ != 0) const_cast<Tracer*>(this)->drain();
+  }
+
+  static constexpr std::size_t kStageCapacity = 2048;  // 64 KiB, L2-resident
+
+  Options opt_;
+  std::vector<Component> components_;
+  std::unique_ptr<TraceEvent[]> stage_;  // shared append buffer (hot half)
+  std::size_t stage_n_ = 0;
+};
+
+/// Per-component handle embedded in instrumented classes. Null tracer =
+/// tracing off for this component (the default everywhere).
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  std::uint32_t id = 0;
+};
+
+#if defined(UNO_NO_TRACE)
+#define UNO_TRACE_COMPILED 0
+/// Compiled out: the dead branch keeps the arguments type-checked and "used"
+/// (no -Wunused in OFF builds) but emits no code.
+#define UNO_TRACE_EVENT(ctx, kind, t, a, b)                         \
+  do {                                                              \
+    if (false) {                                                    \
+      (void)(ctx); (void)(kind); (void)(t); (void)(a); (void)(b);   \
+    }                                                               \
+  } while (0)
+#else
+#define UNO_TRACE_COMPILED 1
+#define UNO_TRACE_EVENT(ctx, kind, t, a, b)                                       \
+  do {                                                                            \
+    const ::uno::TraceContext& uno_tc_ = (ctx);                                   \
+    if (uno_tc_.tracer != nullptr &&                                              \
+        uno_tc_.tracer->enabled(::uno::trace_category(kind)))                     \
+      uno_tc_.tracer->emit(uno_tc_.id, kind, (t), static_cast<std::uint64_t>(a),  \
+                           static_cast<std::uint64_t>(b));                        \
+  } while (0)
+#endif
+
+/// True when trace emission is compiled into this binary.
+inline constexpr bool trace_compiled() { return UNO_TRACE_COMPILED != 0; }
+
+}  // namespace uno

@@ -8,8 +8,10 @@ Logger& Logger::global() {
 }
 
 void Logger::log(LogLevel level, const char* fmt, ...) {
-  ++counts_[static_cast<int>(level)];
+  // Suppressed messages are not counted: messages_at() reports what was
+  // emitted, gated exactly like the emission itself.
   if (level > level_) return;
+  ++counts_[static_cast<int>(level)];
   static const char* kPrefix[] = {"[error] ", "[warn] ", "[info] ", "[debug] "};
   std::fputs(kPrefix[static_cast<int>(level)], stream_);
   va_list args;

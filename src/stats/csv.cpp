@@ -1,58 +1,18 @@
+// Deprecated wrappers; attributes live in the header, so silence them here.
 #include "stats/csv.hpp"
 
-#include <cstdio>
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace uno {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {}
-
-std::string CsvWriter::fmt(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-void CsvWriter::row(const std::vector<std::string>& cells) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << cells[i];
-  }
-  out_ << '\n';
-}
-
 bool write_time_series_csv(const std::string& path,
                            const std::vector<const TimeSeries*>& series) {
-  if (series.empty()) return false;
-  CsvWriter w(path);
-  if (!w.ok()) return false;
-  std::vector<std::string> header{"time_us"};
-  for (const TimeSeries* s : series) header.push_back(s->label);
-  w.row(header);
-  const std::size_t rows = series[0]->size();
-  for (std::size_t i = 0; i < rows; ++i) {
-    std::vector<std::string> cells{CsvWriter::fmt(to_microseconds(series[0]->t[i]))};
-    for (const TimeSeries* s : series)
-      cells.push_back(i < s->size() ? CsvWriter::fmt(s->v[i]) : "");
-    w.row(cells);
-  }
-  return true;
+  return Recorder(".").time_series(path, series);
 }
 
 bool write_flow_results_csv(const std::string& path,
                             const std::vector<FlowResult>& results) {
-  CsvWriter w(path);
-  if (!w.ok()) return false;
-  w.row({"id", "src", "dst", "interdc", "bytes", "start_us", "fct_us", "pkts", "rtx",
-         "nacks"});
-  for (const FlowResult& r : results) {
-    w.row({std::to_string(r.id), std::to_string(r.src), std::to_string(r.dst),
-           r.interdc ? "1" : "0", std::to_string(r.size_bytes),
-           CsvWriter::fmt(to_microseconds(r.start_time)),
-           CsvWriter::fmt(to_microseconds(r.completion_time)),
-           std::to_string(r.packets_sent), std::to_string(r.retransmits),
-           std::to_string(r.nacks)});
-  }
-  return true;
+  return Recorder(".").flow_results(path, results);
 }
 
 }  // namespace uno

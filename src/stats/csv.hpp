@@ -1,38 +1,40 @@
-// CSV export — the analogue of the paper artifact's `artifact_results/`
-// folders: benches can dump raw series and per-flow records for external
-// plotting (set UNO_BENCH_CSV_DIR to enable in the bench binaries).
+// DEPRECATED shim over obs/recorder.hpp.
+//
+// The CSV export surface moved into uno::Recorder (owned by
+// ExperimentResult, shared by the benches via bench::recorder()): one object
+// decides *whether* and *where* artifacts are written instead of every call
+// site re-implementing the UNO_BENCH_CSV_DIR dance. These wrappers keep old
+// call sites compiling for one release; new code should use Recorder.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "stats/sampler.hpp"
-#include "transport/flow.hpp"
+#include "obs/recorder.hpp"
 
 namespace uno {
 
-class CsvWriter {
+/// Deprecated: use Recorder::csv() / Recorder::Csv.
+class [[deprecated("use Recorder::csv() (obs/recorder.hpp)")]] CsvWriter {
  public:
-  /// Opens (truncates) `path`. Check ok() before relying on output.
-  explicit CsvWriter(const std::string& path);
+  explicit CsvWriter(const std::string& path) : csv_(path) {}
 
-  bool ok() const { return static_cast<bool>(out_); }
-  void row(const std::vector<std::string>& cells);
+  bool ok() const { return csv_.ok(); }
+  void row(const std::vector<std::string>& cells) { csv_.row(cells); }
 
-  static std::string fmt(double v);
+  static std::string fmt(double v) { return Recorder::Csv::fmt(v); }
 
  private:
-  std::ofstream out_;
+  Recorder::Csv csv_;
 };
 
-/// Columns: time_us, then one column per series (label as header).
-/// Series may have different lengths; missing cells are left empty. The
-/// first series provides the time column.
+/// Deprecated: use Recorder::time_series().
+[[deprecated("use Recorder::time_series() (obs/recorder.hpp)")]]
 bool write_time_series_csv(const std::string& path,
                            const std::vector<const TimeSeries*>& series);
 
-/// Columns: id, src, dst, interdc, bytes, start_us, fct_us, pkts, rtx, nacks.
+/// Deprecated: use Recorder::flow_results().
+[[deprecated("use Recorder::flow_results() (obs/recorder.hpp)")]]
 bool write_flow_results_csv(const std::string& path, const std::vector<FlowResult>& results);
 
 }  // namespace uno

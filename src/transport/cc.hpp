@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace uno {
@@ -64,6 +65,13 @@ class CongestionControl {
   virtual double pacing_rate() const { return 0.0; }
 
   virtual const char* name() const = 0;
+
+  /// Attach this controller to a flight recorder. Implementations emit under
+  /// TraceCategory::kCc (cwnd counter track, MD / Quick Adapt instants).
+  void set_trace(TraceContext tc) { trace_ = tc; }
+
+ protected:
+  TraceContext trace_;
 };
 
 }  // namespace uno

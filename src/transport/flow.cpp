@@ -135,7 +135,10 @@ bool FlowSender::send_packet(std::uint64_t seq, bool is_retransmit) {
   bytes_in_flight_ += shard.size;
   bytes_sent_ += shard.size;
   ++packets_sent_;
-  if (is_retransmit) ++retransmits_;
+  if (is_retransmit) {
+    ++retransmits_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kRetransmit, eq_.now(), seq, entropy);
+  }
   if (first_send_time_ < 0) first_send_time_ = eq_.now();
   // The loss timer fires at expiry granularity (tail losses produce no ACKs
   // to clock detect_losses) and escalates to a full RTO on real silence.
@@ -268,11 +271,13 @@ void FlowSender::handle_nack(const Packet& nack) {
   const std::uint64_t end = first + frame_.shards_in_block(block);
   const Time stale_before = eq_.now() - params_.block_timeout;
   bool blamed = false;
+  std::uint64_t requeued = 0;
   for (std::uint64_t seq = first; seq < end; ++seq) {
     if (state_[seq] == PktState::kInflight && sent_time_of_[seq] <= stale_before) {
       state_[seq] = PktState::kLost;
       bytes_in_flight_ -= frame_.shard_of(seq).size;
       rtx_queue_.push_back(seq);
+      ++requeued;
       if (!blamed) {
         lb_->on_nack(entropy_of_[seq], eq_.now());
         blamed = true;
@@ -280,6 +285,7 @@ void FlowSender::handle_nack(const Packet& nack) {
     }
   }
   if (!blamed) lb_->on_nack(nack.entropy, eq_.now());
+  UNO_TRACE_EVENT(trace_, TraceKind::kNackReceived, eq_.now(), block, requeued);
   signal_loss_to_cc();
   try_send();
 }
@@ -338,6 +344,9 @@ void FlowSender::complete() {
   // decodable: parity masked those losses.
   for (const PktState s : state_)
     if (s == PktState::kLost) ++fec_masked_;
+  if (fec_masked_ > 0)
+    UNO_TRACE_EVENT(trace_, TraceKind::kFecMasked, eq_.now(), fec_masked_,
+                    frame_.total_packets());
   if (on_complete_) {
     FlowResult r;
     r.id = params_.id;
@@ -397,6 +406,8 @@ void FlowReceiver::receive(Packet p) {
     if (frame_.ec_enabled()) {
       if (frame_.block_complete(block)) {
         block_deadline_.erase(block);
+        UNO_TRACE_EVENT(trace_, TraceKind::kBlockDecoded, eq_.now(), block,
+                        received_count_);
       } else {
         // (Re)start the reassembly timer: any arrival is progress, so the
         // NACK deadline counts from the latest shard, not the first.
@@ -417,6 +428,7 @@ void FlowReceiver::send_ack(const Packet& data) {
 
 void FlowReceiver::send_nack(std::uint32_t block, std::uint16_t entropy) {
   ++nacks_sent_;
+  UNO_TRACE_EVENT(trace_, TraceKind::kNackSent, eq_.now(), block, entropy);
   Packet nack = make_nack_packet(params_.id, block, &paths_->reverse[entropy]);
   nack.entropy = entropy;
   forward(std::move(nack));

@@ -134,6 +134,9 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   }
   bool message_complete() const { return frame_.complete(); }
 
+  /// Attach to a flight recorder (block decode + NACK instants, kRc).
+  void set_trace(TraceContext tc) { trace_ = tc; }
+
  private:
   void send_ack(const Packet& data);
   void send_nack(std::uint32_t block, std::uint16_t entropy);
@@ -157,6 +160,7 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   /// allocation-free in steady state — see transport/deadline_ring.hpp).
   DeadlineRing block_deadline_;
   Timer block_timer_;
+  TraceContext trace_;
 };
 
 class FlowSender final : public PacketSink, public EventHandler {
@@ -192,6 +196,14 @@ class FlowSender final : public PacketSink, public EventHandler {
   std::uint64_t fec_masked() const { return fec_masked_; }
   std::int64_t bytes_in_flight() const { return bytes_in_flight_; }
   std::uint64_t total_packets() const { return frame_.total_packets(); }
+
+  /// Attach the whole sender stack (rtx/NACK instants here, cwnd trace in
+  /// the CC, reroutes in the LB) to one flight-recorder component.
+  void set_trace(TraceContext tc) {
+    trace_ = tc;
+    cc_->set_trace(tc);
+    lb_->set_trace(tc);
+  }
 
  private:
   enum class PktState : std::uint8_t { kUnsent, kInflight, kLost, kAcked };
@@ -254,6 +266,7 @@ class FlowSender final : public PacketSink, public EventHandler {
   std::uint64_t retransmits_ = 0;
   std::uint64_t nacks_received_ = 0;
   std::uint64_t fec_masked_ = 0;
+  TraceContext trace_;
 };
 
 /// Convenience bundle: constructs matching sender/receiver and registers
@@ -272,6 +285,12 @@ class Flow {
   void start() { sender_->start(); }
   FlowSender& sender() { return *sender_; }
   FlowReceiver& receiver() { return *receiver_; }
+
+  /// Both endpoints share one trace component ("flow:N").
+  void set_trace(TraceContext tc) {
+    sender_->set_trace(tc);
+    receiver_->set_trace(tc);
+  }
 
  private:
   Host& src_host_;

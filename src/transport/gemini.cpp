@@ -46,11 +46,14 @@ void GeminiCc::end_round(Time now) {
     // factors; taking the max preserves its behaviour for our scenarios).
     const double f_dcn = dcn_congested ? ecn_ewma_ / 2.0 : 0.0;
     const double f_wan = wan_congested ? p_.wan_beta : 0.0;
-    cwnd_ *= (1.0 - std::min(0.5, std::max(f_dcn, f_wan)));
+    const double md = std::min(0.5, std::max(f_dcn, f_wan));
+    cwnd_ *= (1.0 - md);
     cwnd_ = std::max(cwnd_, static_cast<double>(cc_.mtu));
+    UNO_TRACE_EVENT(trace_, TraceKind::kMdDecision, now, cwnd_, md * 1e6);
   } else {
     cwnd_ += h_bytes_;
   }
+  UNO_TRACE_EVENT(trace_, TraceKind::kCwnd, now, cwnd_, dcn_congested ? 1 : 0);
 
   round_start_ = now;
   round_acked_ = 0;
@@ -58,8 +61,9 @@ void GeminiCc::end_round(Time now) {
   round_min_rtt_ = kTimeInfinity;
 }
 
-void GeminiCc::on_loss(Time) {
+void GeminiCc::on_loss(Time now) {
   cwnd_ = std::max(cwnd_ * 0.5, static_cast<double>(cc_.mtu));
+  UNO_TRACE_EVENT(trace_, TraceKind::kCcRtoCollapse, now, cwnd_, 0);
 }
 
 }  // namespace uno

@@ -18,10 +18,12 @@ void MprdmaCc::on_ack(const AckEvent& ack) {
     cwnd_ += mtu * mtu / cwnd_;
   }
   cwnd_ = std::max(cwnd_, mtu);
+  UNO_TRACE_EVENT(trace_, TraceKind::kCwnd, ack.now, cwnd_, ack.ecn ? 1 : 0);
 }
 
-void MprdmaCc::on_loss(Time) {
+void MprdmaCc::on_loss(Time now) {
   cwnd_ = std::max(cwnd_ / 2.0, static_cast<double>(cc_.mtu));
+  UNO_TRACE_EVENT(trace_, TraceKind::kCcRtoCollapse, now, cwnd_, 0);
 }
 
 }  // namespace uno

@@ -36,6 +36,7 @@ void UnoCc::on_ack(const AckEvent& ack) {
   }
 
   check_quick_adapt(ack);
+  UNO_TRACE_EVENT(trace_, TraceKind::kCwnd, ack.now, cwnd_, ack.ecn ? 1 : 0);
 }
 
 void UnoCc::end_epoch(Time now, Time closing_sent_time) {
@@ -60,9 +61,11 @@ void UnoCc::end_epoch(Time now, Time closing_sent_time) {
     md_scale_ = relative_delay <= delay_threshold_ ? p_.md_scale_decay : 1.0;
     const double md_ecn = ecn_ewma_ * 4.0 * k_bytes_ /
                           (k_bytes_ + static_cast<double>(cc_.bdp()));
-    cwnd_ *= (1.0 - std::min(0.5, md_ecn * md_scale_));
+    const double md = std::min(0.5, md_ecn * md_scale_);
+    cwnd_ *= (1.0 - md);
     cwnd_ = std::max(cwnd_, static_cast<double>(cc_.mtu));
     ++md_events_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kMdDecision, now, cwnd_, md * 1e6);
   }
 
   // Re-activate: advance T_epoch by the (intra-RTT) epoch period. The
@@ -100,9 +103,11 @@ void UnoCc::check_quick_adapt(const AckEvent& ack) {
   }
   if (qa_starved_streak_ >= p_.qa_consecutive_windows) {
     // Very congested: collapse to the measured delivered bytes (Alg. 1 ONQA)
+    const double before = cwnd_;
     cwnd_ = std::max(static_cast<double>(qa_last_starved_bytes_),
                      static_cast<double>(cc_.mtu));
     ++qa_events_;
+    UNO_TRACE_EVENT(trace_, TraceKind::kQuickAdapt, ack.now, before, cwnd_);
     qa_starved_streak_ = 0;
     // "Skip one RTT": after a collapse the old (larger) pipeline must drain
     // and the new one refill before acked-bytes are meaningful again — that
@@ -141,9 +146,9 @@ void UnoCc::on_qcn(Time now) {
 void UnoCc::on_loss(Time now) {
   // RTO is outside Algorithm 1; treat it as the strongest congestion signal
   // and fall back to one MTU, mirroring QA's collapse semantics.
-  (void)now;
   cwnd_ = static_cast<double>(cc_.mtu);
   md_scale_ = 1.0;
+  UNO_TRACE_EVENT(trace_, TraceKind::kCcRtoCollapse, now, cwnd_, 0);
 }
 
 }  // namespace uno

@@ -1,0 +1,214 @@
+// Observability subsystem tests (src/obs): flight-recorder ring bounds and
+// oldest-dropped overflow, category masking at the UNO_TRACE_EVENT sites,
+// Chrome trace_event JSON golden output, trace determinism across worker
+// counts, experiment wiring/metrics, and Logger count gating.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "obs/trace.hpp"
+#include "sim/logger.hpp"
+#include "workload/traffic.hpp"
+
+namespace uno {
+namespace {
+
+// --- ring bounds -------------------------------------------------------------
+
+TEST(Tracer, RingOverflowDropsOldest) {
+  Tracer::Options opt;
+  opt.ring_capacity = 4;
+  Tracer tr(opt);
+  const std::uint32_t c = tr.add_component("q");
+  for (std::uint64_t i = 0; i < 10; ++i)
+    tr.emit(c, TraceKind::kQueueDepth, static_cast<Time>(i), i, 0);
+  EXPECT_EQ(tr.events(c), 4u);
+  EXPECT_EQ(tr.dropped(c), 6u);
+  // The survivors are the newest four, still in emission order.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(tr.event(c, i).a, 6 + i);
+  EXPECT_EQ(tr.total_events(), 4u);
+  EXPECT_EQ(tr.total_dropped(), 6u);
+}
+
+TEST(Tracer, ZeroCapacityClampsToOne) {
+  Tracer::Options opt;
+  opt.ring_capacity = 0;
+  Tracer tr(opt);
+  const std::uint32_t c = tr.add_component("q");
+  tr.emit(c, TraceKind::kQueueDrop, 1, 1, 0);
+  tr.emit(c, TraceKind::kQueueDrop, 2, 2, 0);
+  EXPECT_EQ(tr.events(c), 1u);
+  EXPECT_EQ(tr.event(c, 0).a, 2u);  // newest survives
+  EXPECT_EQ(tr.dropped(c), 1u);
+}
+
+// --- category masking --------------------------------------------------------
+
+TEST(Tracer, CategoryMaskGatesEmission) {
+  Tracer::Options opt;
+  opt.categories = static_cast<std::uint32_t>(TraceCategory::kCc);
+  Tracer tr(opt);
+  TraceContext tc{&tr, tr.add_component("flow")};
+  // Sites check enabled() through the macro: the queue-kind event must be
+  // skipped, the cc-kind event recorded.
+  UNO_TRACE_EVENT(tc, TraceKind::kQueueDrop, 10, 1, 2);
+  UNO_TRACE_EVENT(tc, TraceKind::kCwnd, 20, 3, 4);
+  EXPECT_TRUE(tr.enabled(TraceCategory::kCc));
+  EXPECT_FALSE(tr.enabled(TraceCategory::kQueue));
+  ASSERT_EQ(tr.events(tc.id), trace_compiled() ? 1u : 0u);
+  if (trace_compiled()) {
+    EXPECT_EQ(tr.event(tc.id, 0).kind, static_cast<std::uint16_t>(TraceKind::kCwnd));
+  }
+}
+
+TEST(Tracer, NullTracerContextIsSafe) {
+  TraceContext tc;  // tracer == nullptr: the instrumented-but-untraced case
+  UNO_TRACE_EVENT(tc, TraceKind::kQueueDrop, 10, 1, 2);  // must not crash
+}
+
+TEST(Tracer, ParseCategories) {
+  std::uint32_t mask = 0;
+  std::string err;
+  EXPECT_TRUE(Tracer::parse_categories("all", &mask, &err));
+  EXPECT_EQ(mask, kTraceAllCategories);
+  EXPECT_TRUE(Tracer::parse_categories("cc,lb", &mask, &err));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(TraceCategory::kCc) |
+                      static_cast<std::uint32_t>(TraceCategory::kLb));
+  EXPECT_TRUE(Tracer::parse_categories("queue", &mask, &err));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(TraceCategory::kQueue));
+  EXPECT_FALSE(Tracer::parse_categories("cc,bogus", &mask, &err));
+  EXPECT_NE(err.find("bogus"), std::string::npos);
+  EXPECT_NE(err.find("queue"), std::string::npos);  // lists the valid names
+}
+
+// --- Chrome trace_event export ----------------------------------------------
+
+TEST(Tracer, ChromeTraceGolden) {
+  Tracer tr;
+  const std::uint32_t port = tr.add_component("port:a");
+  const std::uint32_t flow = tr.add_component("flow:1");
+  tr.emit(port, TraceKind::kQueueDepth, 1 * kMicrosecond, 5000, 0);
+  tr.emit(flow, TraceKind::kCwnd, 2500 * kNanosecond, 60000, 1);
+  tr.emit(port, TraceKind::kQueueDrop, 2500 * kNanosecond, 7, 42);
+  // Same-timestamp tie (the drop and the cwnd update): component id order.
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"uno\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"port:a\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,"
+      "\"args\":{\"name\":\"flow:1\"}},\n"
+      "{\"name\":\"queue_depth\",\"cat\":\"queue\",\"ph\":\"C\","
+      "\"ts\":1.000000,\"pid\":0,\"tid\":1,"
+      "\"args\":{\"bytes\":5000,\"phantom_bytes\":0}},\n"
+      "{\"name\":\"drop\",\"cat\":\"queue\",\"ph\":\"i\",\"s\":\"t\","
+      "\"ts\":2.500000,\"pid\":0,\"tid\":1,\"args\":{\"flow\":7,\"seq\":42}},\n"
+      "{\"name\":\"cwnd\",\"cat\":\"cc\",\"ph\":\"C\","
+      "\"ts\":2.500000,\"pid\":0,\"tid\":2,\"args\":{\"cwnd\":60000,\"ecn\":1}}\n"
+      "]}\n";
+  EXPECT_EQ(tr.chrome_trace_json(), expected);
+}
+
+TEST(Tracer, ChromeTraceEscapesNames) {
+  Tracer tr;
+  tr.add_component("odd\"name\\");
+  const std::string json = tr.chrome_trace_json();
+  EXPECT_NE(json.find("odd\\\"name\\\\"), std::string::npos);
+}
+
+// --- experiment wiring -------------------------------------------------------
+
+ExperimentConfig traced_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.fattree_k = 4;
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+std::string run_traced_json(std::uint64_t seed) {
+  Experiment ex(traced_config(seed));
+  HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+  ex.spawn_all(make_incast(hosts, 0, 2, 2, 64 * 1024));
+  ex.run_to_completion(kSecond);
+  return ex.tracer()->chrome_trace_json();
+}
+
+TEST(ExperimentTrace, DisabledByDefault) {
+  ExperimentConfig cfg;
+  cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  EXPECT_EQ(ex.tracer(), nullptr);
+}
+
+TEST(ExperimentTrace, RecordsAndExposesMetrics) {
+  Experiment ex(traced_config(1));
+  ASSERT_NE(ex.tracer(), nullptr);
+  EXPECT_GT(ex.tracer()->num_components(), 0u);
+  HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+  ex.spawn_all(make_incast(hosts, 0, 2, 2, 64 * 1024));
+  EXPECT_TRUE(ex.run_to_completion(kSecond));
+  if (trace_compiled()) EXPECT_GT(ex.tracer()->total_events(), 0u);
+  const ExperimentResult r = ex.result();
+  EXPECT_TRUE(r.metrics.has("trace.events"));
+  EXPECT_EQ(r.metrics.counter("trace.events"), ex.tracer()->total_events());
+  EXPECT_EQ(r.metrics.counter("trace.components"), ex.tracer()->num_components());
+}
+
+TEST(ExperimentTrace, SameSeedSameBytes) {
+  EXPECT_EQ(run_traced_json(7), run_traced_json(7));
+}
+
+TEST(ExperimentTrace, ParallelBatchTraceIsByteIdentical) {
+  // The uno_sim batch path runs one Experiment per worker; the exported
+  // trace must not depend on the worker count.
+  auto run_batch = [](int jobs) {
+    return parallel_map(jobs, 3, [](std::size_t i) { return run_traced_json(i + 1); });
+  };
+  const std::vector<std::string> serial = run_batch(1);
+  const std::vector<std::string> parallel = run_batch(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], parallel[i]);
+}
+
+TEST(ExperimentTrace, CategoryFilterAppliesToRun) {
+  ExperimentConfig cfg = traced_config(1);
+  cfg.trace.categories = static_cast<std::uint32_t>(TraceCategory::kFault);
+  Experiment ex(cfg);
+  HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+  ex.spawn_all(make_incast(hosts, 0, 2, 2, 64 * 1024));
+  ex.run_to_completion(kSecond);
+  // No faults in this run and every other category is masked off.
+  EXPECT_EQ(ex.tracer()->total_events(), 0u);
+}
+
+// --- logger gating -----------------------------------------------------------
+
+TEST(Logger, SuppressedMessagesAreNotCounted) {
+  Logger& log = Logger::global();
+  const LogLevel saved = log.level();
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  log.set_stream(devnull);
+
+  log.set_level(LogLevel::kError);
+  const std::uint64_t warns_before = log.messages_at(LogLevel::kWarn);
+  UNO_WARN("suppressed %d", 1);
+  EXPECT_EQ(log.messages_at(LogLevel::kWarn), warns_before);
+
+  log.set_level(LogLevel::kWarn);
+  UNO_WARN("emitted %d", 2);
+  EXPECT_EQ(log.messages_at(LogLevel::kWarn), warns_before + 1);
+
+  log.set_level(saved);
+  log.set_stream(stderr);
+  std::fclose(devnull);
+}
+
+}  // namespace
+}  // namespace uno

@@ -1,0 +1,138 @@
+// Declarative CLI option-table tests (core/options.hpp): parsing of the
+// accepted spellings, typed-value validation, defaults vs explicit values,
+// unknown-flag rejection with nearest-match suggestions, and generated
+// --help structure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace uno {
+namespace {
+
+OptionSet make_set() {
+  OptionSet opts("tool", "test tool");
+  opts.begin_group("main");
+  opts.add_str("scheme", "uno", "NAME", "scheme to run");
+  opts.add_num("load", 0.4, "F", "offered load");
+  opts.add_num("seed", 1, "N", "RNG seed");
+  opts.add_flag("queues", "print queues");
+  opts.begin_group("other");
+  opts.add_str("trace", "", "FILE", "trace output");
+  return opts;
+}
+
+/// parse() wants a mutable char** argv; build one from literals.
+bool parse(OptionSet& opts, std::vector<std::string> args, std::string* err) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("tool"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return opts.parse(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+TEST(OptionSet, DefaultsWhenUnset) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_TRUE(parse(opts, {}, &err)) << err;
+  EXPECT_EQ(opts.str("scheme"), "uno");
+  EXPECT_DOUBLE_EQ(opts.num("load"), 0.4);
+  EXPECT_FALSE(opts.flag("queues"));
+  EXPECT_FALSE(opts.has("load"));
+  EXPECT_EQ(opts.str("trace"), "");
+}
+
+TEST(OptionSet, AcceptedSpellings) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_TRUE(parse(opts, {"--scheme", "gemini", "--load=0.7", "--queues"}, &err)) << err;
+  EXPECT_EQ(opts.str("scheme"), "gemini");
+  EXPECT_DOUBLE_EQ(opts.num("load"), 0.7);
+  EXPECT_TRUE(opts.flag("queues"));
+  EXPECT_TRUE(opts.has("scheme"));
+  EXPECT_TRUE(opts.has("load"));
+}
+
+TEST(OptionSet, NegativeNumberAsSeparateToken) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_TRUE(parse(opts, {"--load", "-0.5"}, &err)) << err;
+  EXPECT_DOUBLE_EQ(opts.num("load"), -0.5);
+}
+
+TEST(OptionSet, RejectsUnknownWithSuggestion) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"--shceme", "uno"}, &err));
+  EXPECT_NE(err.find("--shceme"), std::string::npos);
+  EXPECT_NE(err.find("--scheme"), std::string::npos);  // did you mean
+}
+
+TEST(OptionSet, RejectsUnknownWithoutFarFetchedSuggestion) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"--zzzzzzzz"}, &err));
+  EXPECT_EQ(err.find("did you mean"), std::string::npos);
+}
+
+TEST(OptionSet, RejectsPositional) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"gemini"}, &err));
+}
+
+TEST(OptionSet, RejectsMissingValue) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"--scheme"}, &err));
+  EXPECT_NE(err.find("scheme"), std::string::npos);
+}
+
+TEST(OptionSet, RejectsBadNumber) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"--load", "fast"}, &err));
+}
+
+TEST(OptionSet, RejectsValueOnFlag) {
+  OptionSet opts = make_set();
+  std::string err;
+  EXPECT_FALSE(parse(opts, {"--queues=yes"}, &err));
+}
+
+TEST(OptionSet, EditDistance) {
+  EXPECT_EQ(OptionSet::edit_distance("", ""), 0u);
+  EXPECT_EQ(OptionSet::edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(OptionSet::edit_distance("abc", ""), 3u);
+  EXPECT_EQ(OptionSet::edit_distance("shceme", "scheme"), 2u);  // transposition
+  EXPECT_EQ(OptionSet::edit_distance("load", "lead"), 1u);
+  EXPECT_EQ(OptionSet::edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(OptionSet, SuggestPicksNearest) {
+  OptionSet opts = make_set();
+  EXPECT_EQ(opts.suggest("shceme"), "scheme");
+  EXPECT_EQ(opts.suggest("lod"), "load");
+  EXPECT_EQ(opts.suggest("entirely-different"), "");
+}
+
+TEST(OptionSet, HelpTextStructure) {
+  OptionSet opts = make_set();
+  const std::string help = opts.help_text();
+  // Header, group titles in insertion order, every option, defaults.
+  EXPECT_NE(help.find("tool"), std::string::npos);
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+  const std::size_t main_at = help.find("main");
+  const std::size_t other_at = help.find("other");
+  ASSERT_NE(main_at, std::string::npos);
+  ASSERT_NE(other_at, std::string::npos);
+  EXPECT_LT(main_at, other_at);
+  EXPECT_NE(help.find("--scheme"), std::string::npos);
+  EXPECT_NE(help.find("--load"), std::string::npos);
+  EXPECT_NE(help.find("--queues"), std::string::npos);
+  EXPECT_NE(help.find("0.4"), std::string::npos);  // numeric default shown
+}
+
+}  // namespace
+}  // namespace uno

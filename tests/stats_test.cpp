@@ -5,10 +5,15 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/recorder.hpp"
 #include "stats/csv.hpp"
 #include "stats/fct.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
+
+// This file deliberately exercises the deprecated CSV wrappers alongside the
+// Recorder API they forward to.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace uno {
 namespace {
@@ -100,7 +105,7 @@ TEST(Csv, TimeSeriesRoundTrip) {
   TimeSeries a{"rate_a", {kMicrosecond, 2 * kMicrosecond}, {1.5, 2.5}};
   TimeSeries b{"rate_b", {kMicrosecond}, {9.0}};  // shorter series
   const char* path = "/tmp/uno_csv_test.csv";
-  ASSERT_TRUE(write_time_series_csv(path, {&a, &b}));
+  ASSERT_TRUE(Recorder("/tmp").time_series("uno_csv_test.csv", {&a, &b}));
   std::ifstream in(path);
   std::string l1, l2, l3;
   std::getline(in, l1);
@@ -123,19 +128,51 @@ TEST(Csv, FlowResultsRoundTrip) {
   r.packets_sent = 2;
   r.retransmits = 1;
   r.nacks = 0;
+  r.fec_masked = 3;
   const char* path = "/tmp/uno_csv_flows.csv";
-  ASSERT_TRUE(write_flow_results_csv(path, {r}));
+  ASSERT_TRUE(Recorder("/tmp").flow_results("uno_csv_flows.csv", {r}));
   std::ifstream in(path);
   std::string header, row;
   std::getline(in, header);
   std::getline(in, row);
-  EXPECT_EQ(row, "7,1,130,1,4096,1000,2000,2,1,0");
+  EXPECT_EQ(header, "id,src,dst,interdc,bytes,start_us,fct_us,pkts,rtx,nacks,fec_masked");
+  EXPECT_EQ(row, "7,1,130,1,4096,1000,2000,2,1,0,3");
+}
+
+TEST(Csv, DeprecatedWrappersForwardToRecorder) {
+  // The legacy free functions must produce byte-identical output to the
+  // Recorder methods they wrap.
+  TimeSeries s{"x", {kMicrosecond}, {4.25}};
+  ASSERT_TRUE(write_time_series_csv("/tmp/uno_csv_legacy.csv", {&s}));
+  ASSERT_TRUE(Recorder("/tmp").time_series("uno_csv_new.csv", {&s}));
+  auto slurp = [](const char* p) {
+    std::ifstream in(p);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  EXPECT_EQ(slurp("/tmp/uno_csv_legacy.csv"), slurp("/tmp/uno_csv_new.csv"));
 }
 
 TEST(Csv, UnwritablePathFails) {
   EXPECT_FALSE(write_flow_results_csv("/nonexistent_dir/x.csv", {}));
   TimeSeries s{"x", {0}, {0}};
   EXPECT_FALSE(write_time_series_csv("/nonexistent_dir/x.csv", {&s}));
+}
+
+TEST(Recorder, DisabledRecorderWritesNothing) {
+  const Recorder off;  // default = disabled
+  EXPECT_FALSE(off.enabled());
+  TimeSeries s{"x", {0}, {1.0}};
+  EXPECT_FALSE(off.time_series("/tmp/uno_should_not_exist.csv", {&s}));
+  EXPECT_FALSE(off.flow_results("/tmp/uno_should_not_exist.csv", {}));
+  MetricRegistry m;
+  EXPECT_FALSE(off.metrics("/tmp/uno_should_not_exist.json", m));
+}
+
+TEST(Recorder, PathResolution) {
+  EXPECT_EQ(Recorder("/out").path_for("a.csv"), "/out/a.csv");
+  EXPECT_EQ(Recorder("/out/").path_for("a.csv"), "/out/a.csv");
+  EXPECT_EQ(Recorder(".").path_for("a.csv"), "a.csv");
+  EXPECT_EQ(Recorder("/out").path_for("/abs/a.csv"), "/abs/a.csv");
 }
 
 TEST(TablePrinter, FormatsWithoutCrashing) {

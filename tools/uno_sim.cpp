@@ -8,7 +8,7 @@
 //   uno_sim --scheme mprdma+bbr --workload permutation --size-mb 4
 //   uno_sim --scheme uno --workload poisson --rtt-ratio 512 --fail-links 2
 //   uno_sim --scheme uno --fault "2ms down border:0"
-//   uno_sim --scheme uno --fault "1ms flap border:1 period=500us duty=0.5"
+//   uno_sim --scheme uno --trace out.json --trace-categories cc,queue
 //
 // Batch mode: --seeds and/or --sweep expand one configuration into a list of
 // independent runs, executed on --jobs worker threads (each run owns its
@@ -18,17 +18,20 @@
 //   uno_sim --scheme uno --sweep load=0.1:0.8:15 --jobs 8
 //   uno_sim --scheme uno --workload incast --seeds 10 --jobs 4
 //
-// Run with --help for the full flag list.
+// Every flag lives in one declarative OptionSet table (core/options.hpp):
+// --help is generated from it, unknown flags are rejected with a nearest-
+// match suggestion. Run with --help for the full list.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/options.hpp"
 #include "core/parallel.hpp"
 #include "faults/plan.hpp"
+#include "obs/trace.hpp"
 #include "stats/resilience.hpp"
 #include "stats/summary.hpp"
 #include "workload/cdf.hpp"
@@ -38,93 +41,61 @@ using namespace uno;
 
 namespace {
 
-/// Minimal --key value / --key=value parser.
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        ok_ = false;
-        return;
-      }
-      arg = arg.substr(2);
-      const auto eq = arg.find('=');
-      if (eq != std::string::npos) {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "1";  // boolean flag
-      }
-    }
-  }
+OptionSet make_options() {
+  OptionSet opts("uno_sim", "run one simulation and print FCT statistics");
+  opts.begin_group("simulation");
+  opts.add_str("scheme", "uno", "NAME",
+               "uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
+               "swift+bbr | dctcp | unocc+rps | unocc+plb | unocc+reps");
+  opts.add_str("workload", "poisson", "NAME", "poisson | incast | permutation | replay");
+  opts.add_num("seed", 1, "N", "RNG seed");
+  opts.add_num("deadline-ms", 1000, "F", "simulation deadline");
+  opts.add_flag("queues", "also print the busiest queues");
+  opts.add_flag("help", "print this help and exit");
 
-  bool ok() const { return ok_; }
-  bool has(const std::string& k) const { return values_.count(k) > 0; }
-  std::string str(const std::string& k, const std::string& def) const {
-    auto it = values_.find(k);
-    return it == values_.end() ? def : it->second;
-  }
-  double num(const std::string& k, double def) const {
-    auto it = values_.find(k);
-    return it == values_.end() ? def : std::atof(it->second.c_str());
-  }
-  /// Flags consumed so far; anything else is a typo.
-  bool validate(std::initializer_list<const char*> known) const {
-    bool good = true;
-    for (const auto& [k, v] : values_) {
-      bool found = false;
-      for (const char* n : known) found |= k == n;
-      if (!found) {
-        std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
-        good = false;
-      }
-    }
-    return good;
-  }
+  opts.begin_group("workload knobs");
+  opts.add_num("load", 0.4, "F", "Poisson offered load fraction");
+  opts.add_num("duration-ms", 5, "F", "Poisson arrival window");
+  opts.add_num("active-hosts", 64, "N", "Poisson participants (0 = all)");
+  opts.add_num("size-scale", 1.0 / 32.0, "F", "scale factor for Poisson CDFs");
+  opts.add_num("flows", 8, "N", "incast senders (half intra, half inter)");
+  opts.add_num("size-mb", 8, "F", "flow size for incast/permutation");
+  opts.add_str("replay", "", "FILE", "replay workload: CSV of src,dst,bytes,start_us");
 
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+  opts.begin_group("topology");
+  opts.add_num("k", 8, "N", "fat-tree arity per DC");
+  opts.add_num("dcs", 2, "N", "datacenters (full border mesh)");
+  opts.add_num("cross-links", 8, "N", "WAN links between the borders");
+  opts.add_num("rtt-ratio", 143, "N", "inter/intra RTT ratio (default => 2 ms)");
 
-void usage() {
-  std::puts(
-      "uno_sim — run one simulation and print FCT statistics\n"
-      "\n"
-      "  --scheme NAME      uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
-      "                     swift+bbr | dctcp | unocc+rps | unocc+plb        [uno]\n"
-      "  --workload NAME    poisson | incast | permutation | replay [poisson]\n"
-      "  --trace FILE       replay: CSV of src,dst,bytes,start_us\n"
-      "  --load F           Poisson offered load fraction        [0.4]\n"
-      "  --duration-ms F    Poisson arrival window               [5]\n"
-      "  --active-hosts N   Poisson participants (0 = all)       [64]\n"
-      "  --flows N          incast senders (half intra, half inter) [8]\n"
-      "  --size-mb F        flow size for incast/permutation     [8]\n"
-      "  --size-scale F     scale factor for Poisson CDFs        [0.03125]\n"
-      "  --rtt-ratio N      inter/intra RTT ratio                [143 => 2 ms]\n"
-      "  --k N              fat-tree arity per DC                [8]\n"
-      "  --dcs N            datacenters (full border mesh)       [2]\n"
-      "  --cross-links N    WAN links between the borders        [8]\n"
-      "  --fail-links N     border links to fail at t=0          [0]\n"
-      "  --fault SPEC       fault plan: ';'-separated clauses, e.g.\n"
-      "                     \"2ms down border:0\" or\n"
-      "                     \"1ms flap border:1 period=500us duty=0.5\"\n"
-      "                     kinds: down|up|flap|latency|loss|ecn-stuck;\n"
-      "                     targets: border:N | border:* | name glob\n"
-      "  --fault-sample-us F  resilience goodput sample period   [250]\n"
-      "  --loss-scale F     Table-1 burst loss amplification     [0]\n"
-      "  --seed N           RNG seed                             [1]\n"
-      "  --deadline-ms F    simulation deadline                  [1000]\n"
-      "  --queues           also print the busiest queues\n"
-      "\n"
-      "batch mode (merged summary table instead of the full report):\n"
-      "  --seeds N          run seeds seed..seed+N-1             [1]\n"
-      "  --sweep KEY=LO:HI:N  N evenly spaced points over KEY;\n"
-      "                     keys: load | rtt-ratio | size-mb | flows\n"
-      "  --jobs N           worker threads for the batch (0 = one per core) [1]\n");
+  opts.begin_group("faults");
+  opts.add_num("fail-links", 0, "N", "border links to fail at t=0");
+  opts.add_str("fault", "", "SPEC",
+               "fault plan: ';'-separated clauses, e.g.\n"
+               "\"2ms down border:0\" or\n"
+               "\"1ms flap border:1 period=500us duty=0.5\"\n"
+               "kinds: down|up|flap|latency|loss|ecn-stuck;\n"
+               "targets: border:N | border:* | name glob");
+  opts.add_num("fault-sample-us", 250, "F", "resilience goodput sample period");
+  opts.add_num("loss-scale", 0, "F", "Table-1 burst loss amplification");
+
+  opts.begin_group("observability");
+  opts.add_str("trace", "", "FILE",
+               "write a Chrome trace_event JSON flight recording\n"
+               "(load in Perfetto / chrome://tracing)");
+  opts.add_str("trace-categories", "all", "LIST",
+               "comma-separated: queue,cc,lb,rc,fault (or \"all\")");
+  opts.add_num("trace-ring", 1 << 10, "N", "per-component trace ring capacity");
+  opts.add_num("trace-depth-us", 4, "F", "queue-depth sample period in simulated us");
+  opts.add_str("metrics", "", "FILE", "write end-of-run scalar metrics as JSON");
+
+  opts.begin_group("batch mode (merged summary table instead of the full report)");
+  opts.add_num("seeds", 1, "N", "run seeds seed..seed+N-1");
+  opts.add_str("sweep", "", "KEY=LO:HI:N",
+               "N evenly spaced points over KEY;\n"
+               "keys: load | rtt-ratio | size-mb | flows");
+  opts.add_num("jobs", 1, "N", "worker threads for the batch (0 = one per core)");
+  return opts;
 }
 
 SchemeSpec parse_scheme(const std::string& name, bool* ok) {
@@ -143,8 +114,46 @@ SchemeSpec parse_scheme(const std::string& name, bool* ok) {
   return SchemeSpec::uno();
 }
 
+/// --trace / --trace-categories / --trace-ring / --metrics, resolved once.
+struct ObsOptions {
+  std::string trace_file;
+  std::string metrics_file;
+  std::uint32_t categories = kTraceAllCategories;
+  std::size_t ring = 1 << 10;
+  Time depth_interval = 4 * kMicrosecond;
+
+  ExperimentConfig::TraceOptions to_config() const {
+    ExperimentConfig::TraceOptions t;
+    t.enabled = !trace_file.empty();
+    t.categories = categories;
+    t.ring_capacity = ring;
+    t.depth_sample_interval = depth_interval;
+    return t;
+  }
+};
+
+bool parse_obs(const OptionSet& opts, ObsOptions* obs, std::string* err) {
+  obs->trace_file = opts.str("trace");
+  obs->metrics_file = opts.str("metrics");
+  obs->ring = static_cast<std::size_t>(opts.num("trace-ring"));
+  obs->depth_interval =
+      static_cast<Time>(opts.num("trace-depth-us") * static_cast<double>(kMicrosecond));
+  return Tracer::parse_categories(opts.str("trace-categories"), &obs->categories, err);
+}
+
+/// "out.json" -> "out_run3.json": batch runs write one trace file each.
+std::string indexed_path(const std::string& path, std::size_t i) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "_run%zu", i);
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 /// The per-run knobs a batch can vary; everything else comes straight from
-/// the (immutable, shared) Flags.
+/// the (immutable, shared) OptionSet.
 struct RunParams {
   std::uint64_t seed = 1;
   double load = 0.4;
@@ -152,6 +161,13 @@ struct RunParams {
   double rtt_ratio = 0;  // 0 = keep the topology default
   int flows = 8;
 };
+
+RunParams base_params(const OptionSet& opts) {
+  return RunParams{static_cast<std::uint64_t>(opts.num("seed")), opts.num("load"),
+                   opts.num("size-mb"),
+                   opts.has("rtt-ratio") ? opts.num("rtt-ratio") : 0,
+                   static_cast<int>(opts.num("flows"))};
+}
 
 /// --sweep KEY=LO:HI:N over one RunParams dimension.
 struct Sweep {
@@ -197,33 +213,35 @@ void apply_sweep_value(const Sweep& sw, double v, RunParams* rp) {
   if (sw.key == "flows") rp->flows = static_cast<int>(v);
 }
 
-ExperimentConfig build_config(const Flags& flags, const RunParams& rp,
-                              const FaultPlan& faults, bool* scheme_ok) {
+ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
+                              const FaultPlan& faults, const ObsOptions& obs,
+                              bool* scheme_ok) {
   ExperimentConfig cfg;
-  cfg.scheme = parse_scheme(flags.str("scheme", "uno"), scheme_ok);
+  cfg.scheme = parse_scheme(opts.str("scheme"), scheme_ok);
   cfg.seed = rp.seed;
-  cfg.uno.fattree_k = static_cast<int>(flags.num("k", 8));
-  cfg.uno.num_dcs = static_cast<int>(flags.num("dcs", 2));
-  cfg.uno.cross_links = static_cast<int>(flags.num("cross-links", 8));
+  cfg.uno.fattree_k = static_cast<int>(opts.num("k"));
+  cfg.uno.num_dcs = static_cast<int>(opts.num("dcs"));
+  cfg.uno.cross_links = static_cast<int>(opts.num("cross-links"));
   if (rp.rtt_ratio > 0)
     cfg.uno.inter_rtt =
         static_cast<Time>(rp.rtt_ratio * static_cast<double>(cfg.uno.intra_rtt));
   cfg.faults = faults;
+  cfg.trace = obs.to_config();
   return cfg;
 }
 
 /// Build the workload's flow list, or return false with an error message.
-bool build_specs(const Flags& flags, const RunParams& rp, const HostSpace& hosts,
+bool build_specs(const OptionSet& opts, const RunParams& rp, const HostSpace& hosts,
                  std::vector<FlowSpec>* specs, std::string* err) {
-  const std::string workload = flags.str("workload", "poisson");
+  const std::string workload = opts.str("workload");
   const auto size_bytes = static_cast<std::uint64_t>(rp.size_mb * (1 << 20));
   if (workload == "poisson") {
     PoissonConfig pc;
     pc.load = rp.load;
-    pc.duration = static_cast<Time>(flags.num("duration-ms", 5) * kMillisecond);
-    pc.active_hosts = static_cast<int>(flags.num("active-hosts", 64));
+    pc.duration = static_cast<Time>(opts.num("duration-ms") * kMillisecond);
+    pc.active_hosts = static_cast<int>(opts.num("active-hosts"));
     pc.seed = rp.seed;
-    const double ss = flags.num("size-scale", 1.0 / 32.0);
+    const double ss = opts.num("size-scale");
     *specs = make_poisson_mixed(hosts, EmpiricalCdf::websearch().scaled(ss),
                                 EmpiricalCdf::alibaba_wan().scaled(ss), pc);
   } else if (workload == "incast") {
@@ -232,12 +250,12 @@ bool build_specs(const Flags& flags, const RunParams& rp, const HostSpace& hosts
   } else if (workload == "permutation") {
     *specs = make_permutation(hosts, size_bytes, rp.seed);
   } else if (workload == "replay") {
-    const std::string trace = flags.str("trace", "");
-    if (trace.empty()) {
-      *err = "--workload replay requires --trace FILE";
+    const std::string replay = opts.str("replay");
+    if (replay.empty()) {
+      *err = "--workload replay requires --replay FILE";
       return false;
     }
-    *specs = load_flow_specs_csv(trace, hosts);
+    *specs = load_flow_specs_csv(replay, hosts);
   } else {
     *err = "unknown workload: " + workload;
     return false;
@@ -258,6 +276,27 @@ void apply_loss_scale(Experiment& ex, std::uint64_t seed, double loss_scale) {
             std::make_unique<BurstLoss>(p, Rng::stream(seed, stream++)));
 }
 
+/// Trace + metrics export for one finished experiment; file paths already
+/// resolved (batch runs pass indexed names).
+bool export_obs(Experiment& ex, const std::string& trace_file,
+                const std::string& metrics_file, std::string* err) {
+  if (!trace_file.empty()) {
+    if (ex.tracer() == nullptr || !ex.tracer()->write_chrome_trace(trace_file)) {
+      *err = "cannot write trace file: " + trace_file;
+      return false;
+    }
+  }
+  if (!metrics_file.empty()) {
+    MetricRegistry m;
+    ex.snapshot_metrics(m);
+    if (!m.write_json(metrics_file)) {
+      *err = "cannot write metrics file: " + metrics_file;
+      return false;
+    }
+  }
+  return true;
+}
+
 /// One batch run's merged-table row.
 struct RunRow {
   std::string label;
@@ -269,19 +308,19 @@ struct RunRow {
   std::string error;
 };
 
-RunRow run_one(const Flags& flags, const RunParams& rp, const FaultPlan& faults,
-               std::string label) {
+RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faults,
+               const ObsOptions& obs, std::size_t index, std::string label) {
   RunRow row;
   row.label = std::move(label);
   bool scheme_ok = false;
-  const ExperimentConfig cfg = build_config(flags, rp, faults, &scheme_ok);
+  const ExperimentConfig cfg = build_config(opts, rp, faults, obs, &scheme_ok);
   Experiment ex(cfg);
   const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
-  apply_loss_scale(ex, cfg.seed, flags.num("loss-scale", 0));
+  apply_loss_scale(ex, cfg.seed, opts.num("loss-scale"));
   std::vector<FlowSpec> specs;
-  if (!build_specs(flags, rp, hosts, &specs, &row.error)) return row;
+  if (!build_specs(opts, rp, hosts, &specs, &row.error)) return row;
   ex.spawn_all(specs);
-  const Time deadline = static_cast<Time>(flags.num("deadline-ms", 1000) * kMillisecond);
+  const Time deadline = static_cast<Time>(opts.num("deadline-ms") * kMillisecond);
   row.done = ex.run_to_completion(deadline);
   row.spawned = ex.flows_spawned();
   row.completed = ex.flows_completed();
@@ -289,15 +328,17 @@ RunRow run_one(const Flags& flags, const RunParams& rp, const FaultPlan& faults,
   row.drops = ex.topo().total_drops();
   row.trims = ex.topo().total_trims();
   row.sim_ms = to_milliseconds(ex.eq().now());
+  const std::string trace_file =
+      obs.trace_file.empty() ? std::string{} : indexed_path(obs.trace_file, index);
+  const std::string metrics_file =
+      obs.metrics_file.empty() ? std::string{} : indexed_path(obs.metrics_file, index);
+  export_obs(ex, trace_file, metrics_file, &row.error);
   return row;
 }
 
-int run_batch(const Flags& flags, const FaultPlan& faults, const Sweep& sweep,
-              int nseeds, int jobs) {
-  const RunParams base{static_cast<std::uint64_t>(flags.num("seed", 1)),
-                       flags.num("load", 0.4), flags.num("size-mb", 8),
-                       flags.has("rtt-ratio") ? flags.num("rtt-ratio", 143) : 0,
-                       static_cast<int>(flags.num("flows", 8))};
+int run_batch(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& obs,
+              const Sweep& sweep, int nseeds, int jobs) {
+  const RunParams base = base_params(opts);
 
   // Expand sweep points x seeds into a flat run list; the merged table keeps
   // this submission order no matter how workers interleave.
@@ -328,10 +369,10 @@ int run_batch(const Flags& flags, const FaultPlan& faults, const Sweep& sweep,
   }
 
   std::printf("batch: %zu runs on %d worker(s), scheme=%s workload=%s\n", plan.size(),
-              resolve_jobs(jobs), flags.str("scheme", "uno").c_str(),
-              flags.str("workload", "poisson").c_str());
+              resolve_jobs(jobs), opts.str("scheme").c_str(),
+              opts.str("workload").c_str());
   const auto rows = parallel_map(jobs, plan.size(), [&](std::size_t i) {
-    return run_one(flags, plan[i].rp, faults, plan[i].label);
+    return run_one(opts, plan[i].rp, faults, obs, i, plan[i].label);
   });
 
   bool all_done = true;
@@ -351,62 +392,65 @@ int run_batch(const Flags& flags, const FaultPlan& faults, const Sweep& sweep,
                std::to_string(r.trims), Table::fmt(r.sim_ms, 2)});
   }
   t.print("batch results");
+  if (!obs.trace_file.empty())
+    std::printf("traces: %s ... (%zu files)\n", indexed_path(obs.trace_file, 0).c_str(),
+                rows.size());
   return all_done ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  if (!flags.ok() || flags.has("help")) {
-    usage();
-    return flags.ok() ? 0 : 2;
-  }
-  if (!flags.validate({"scheme", "workload", "load", "duration-ms", "active-hosts", "flows",
-                       "size-mb", "size-scale", "rtt-ratio", "k", "cross-links",
-                       "fail-links", "fault", "fault-sample-us", "loss-scale", "seed",
-                       "deadline-ms", "queues", "trace", "dcs", "help", "seeds", "sweep",
-                       "jobs"})) {
-    usage();
+  OptionSet opts = make_options();
+  std::string err;
+  if (!opts.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
+  }
+  if (opts.flag("help")) {
+    std::fputs(opts.help_text().c_str(), stdout);
+    return 0;
   }
 
   bool scheme_ok = false;
-  parse_scheme(flags.str("scheme", "uno"), &scheme_ok);
+  parse_scheme(opts.str("scheme"), &scheme_ok);
   if (!scheme_ok) {
-    std::fprintf(stderr, "unknown scheme\n");
+    std::fprintf(stderr, "unknown scheme: %s (see --help for the catalogue)\n",
+                 opts.str("scheme").c_str());
+    return 2;
+  }
+
+  ObsOptions obs;
+  if (!parse_obs(opts, &obs, &err)) {
+    std::fprintf(stderr, "bad --trace-categories: %s\n", err.c_str());
     return 2;
   }
 
   // --fail-links is sugar for a permanent down event at t=0 on each link.
-  const int fails = std::min(static_cast<int>(flags.num("fail-links", 0)),
-                             static_cast<int>(flags.num("cross-links", 8)));
+  const int fails = std::min(static_cast<int>(opts.num("fail-links")),
+                             static_cast<int>(opts.num("cross-links")));
   FaultPlan faults = FaultPlan::fail_links(fails);
-  if (flags.has("fault")) {
-    std::string err;
-    if (!FaultPlan::parse(flags.str("fault", ""), &faults, &err)) {
+  if (opts.has("fault")) {
+    if (!FaultPlan::parse(opts.str("fault"), &faults, &err)) {
       std::fprintf(stderr, "bad --fault: %s\n", err.c_str());
       return 2;
     }
   }
 
   Sweep sweep;
-  if (flags.has("sweep")) {
-    std::string err;
-    if (!parse_sweep(flags.str("sweep", ""), &sweep, &err)) {
+  if (opts.has("sweep")) {
+    if (!parse_sweep(opts.str("sweep"), &sweep, &err)) {
       std::fprintf(stderr, "bad --sweep: %s\n", err.c_str());
       return 2;
     }
   }
-  const int nseeds = std::max(1, static_cast<int>(flags.num("seeds", 1)));
+  const int nseeds = std::max(1, static_cast<int>(opts.num("seeds")));
   if (sweep.active || nseeds > 1)
-    return run_batch(flags, faults, sweep, nseeds, static_cast<int>(flags.num("jobs", 1)));
+    return run_batch(opts, faults, obs, sweep, nseeds,
+                     static_cast<int>(opts.num("jobs")));
 
-  const RunParams base{static_cast<std::uint64_t>(flags.num("seed", 1)),
-                       flags.num("load", 0.4), flags.num("size-mb", 8),
-                       flags.has("rtt-ratio") ? flags.num("rtt-ratio", 143) : 0,
-                       static_cast<int>(flags.num("flows", 8))};
-  const ExperimentConfig cfg = build_config(flags, base, faults, &scheme_ok);
+  const RunParams base = base_params(opts);
+  const ExperimentConfig cfg = build_config(opts, base, faults, obs, &scheme_ok);
   Experiment ex(cfg);
   const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
 
@@ -415,18 +459,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fault target matched nothing: %s\n", t.c_str());
     return 2;
   }
-  apply_loss_scale(ex, cfg.seed, flags.num("loss-scale", 0));
+  apply_loss_scale(ex, cfg.seed, opts.num("loss-scale"));
 
   std::vector<FlowSpec> specs;
-  std::string err;
-  if (!build_specs(flags, base, hosts, &specs, &err)) {
+  if (!build_specs(opts, base, hosts, &specs, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
 
   std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms\n",
-              cfg.scheme.name.c_str(), flags.str("workload", "poisson").c_str(),
-              specs.size(), hosts.total(), to_milliseconds(cfg.uno.inter_rtt));
+              cfg.scheme.name.c_str(), opts.str("workload").c_str(), specs.size(),
+              hosts.total(), to_milliseconds(cfg.uno.inter_rtt));
   ex.spawn_all(specs);
 
   // With a fault plan active, track recovery: goodput per flow, sampled
@@ -435,7 +478,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ResilienceTracker> tracker;
   if (ex.fault_injector()) {
     const Time period =
-        static_cast<Time>(flags.num("fault-sample-us", 250) * kMicrosecond);
+        static_cast<Time>(opts.num("fault-sample-us") * kMicrosecond);
     tracker = std::make_unique<ResilienceTracker>(ex.eq(), period);
     for (std::size_t i = 0; i < ex.flows_spawned(); ++i) tracker->watch(&ex.sender(i));
     const Time onset = ex.fault_injector()->first_onset();
@@ -443,7 +486,7 @@ int main(int argc, char** argv) {
     tracker->start();
   }
 
-  const Time deadline = static_cast<Time>(flags.num("deadline-ms", 1000) * kMillisecond);
+  const Time deadline = static_cast<Time>(opts.num("deadline-ms") * kMillisecond);
   const bool done = ex.run_to_completion(deadline);
   if (tracker) tracker->stop();
 
@@ -477,7 +520,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rs.fec_masked));
   }
 
-  if (flags.has("queues")) {
+  if (!export_obs(ex, obs.trace_file, obs.metrics_file, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (!obs.trace_file.empty() && ex.tracer() != nullptr)
+    std::printf("trace: %s (%zu components, %zu events, %llu dropped)\n",
+                obs.trace_file.c_str(), ex.tracer()->num_components(),
+                ex.tracer()->total_events(),
+                static_cast<unsigned long long>(ex.tracer()->total_dropped()));
+  if (!obs.metrics_file.empty()) std::printf("metrics: %s\n", obs.metrics_file.c_str());
+
+  if (opts.flag("queues")) {
     auto qs = ex.topo().all_queues();
     std::sort(qs.begin(), qs.end(),
               [](Queue* a, Queue* b) { return a->bytes_forwarded() > b->bytes_forwarded(); });

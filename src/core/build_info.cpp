@@ -1,0 +1,21 @@
+#include "core/build_info.hpp"
+
+#include "uno_build_info.h"
+
+namespace uno {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{UNO_BUILD_GIT,  UNO_BUILD_COMPILER,
+                              UNO_BUILD_TYPE, UNO_BUILD_SIMD,
+                              UNO_BUILD_TRACE, UNO_BUILD_SANITIZE};
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& b = build_info();
+  return "uno " + b.git + " " + b.compiler + " " + b.build_type +
+         " simd=" + b.simd + " trace=" + b.trace +
+         " san=" + (b.sanitize.empty() ? "none" : b.sanitize);
+}
+
+}  // namespace uno

@@ -1,0 +1,35 @@
+// Build identity: which sources, compiler, and feature configuration made
+// this binary. Generated at *build* time (cmake/gen_build_info.cmake writes
+// uno_build_info.h into the build tree on every build, rewriting only on
+// change), so the git hash tracks the checked-out commit without a
+// reconfigure. Two consumers:
+//
+//   * `uno_sim --version` prints it, first line machine-parseable;
+//   * the sweep farm (src/farm) folds build_info_string() into every cell's
+//     cache key, so results are re-used only when neither the configuration
+//     nor the binary changed.
+#pragma once
+
+#include <string>
+
+namespace uno {
+
+struct BuildInfo {
+  std::string git;       // short hash, "-dirty" suffixed; "unknown" outside git
+  std::string compiler;  // e.g. "GNU-13.2.0"
+  std::string build_type;
+  std::string simd;      // UNO_SIMD at configure time: "ON"/"OFF"
+  std::string trace;     // UNO_TRACE
+  std::string sanitize;  // UNO_SANITIZE, usually empty
+};
+
+/// The values baked into this binary.
+const BuildInfo& build_info();
+
+/// One canonical line, stable field order:
+///   "uno <git> <compiler> <build_type> simd=<..> trace=<..> san=<..|none>"
+/// This exact string is the farm's build id and the first line of
+/// `uno_sim --version`.
+std::string build_info_string();
+
+}  // namespace uno

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/build_info.hpp"
+
 namespace uno {
 
 InterDcConfig Experiment::make_topo_config(const UnoConfig& uno, const SchemeSpec& scheme,
@@ -199,6 +201,9 @@ void Experiment::spawn_all(const std::vector<FlowSpec>& specs) {
 }
 
 void Experiment::snapshot_metrics(MetricRegistry& m) const {
+  // Which binary produced these numbers — the same id the sweep farm folds
+  // into its cache keys, so exported metrics are attributable to a build.
+  m.set_info("build", build_info_string());
   m.set_counter("flows.spawned", flows_.size());
   m.set_counter("flows.completed", completed_);
   m.set_counter("sim.events_dispatched", eq_.dispatched());

@@ -142,6 +142,46 @@ std::string OptionSet::str(const std::string& name) const {
   return o->set ? o->str_val : o->str_def;
 }
 
+std::vector<std::string> OptionSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(opts_.size());
+  for (const Opt& o : opts_) out.push_back(o.name);
+  return out;
+}
+
+OptionSet::Type OptionSet::type_of(const std::string& name) const {
+  const Opt* o = find(name);
+  assert(o != nullptr && "type_of() on unregistered option");
+  return o != nullptr ? o->type : Type::kStr;
+}
+
+bool OptionSet::check_value(const std::string& name, const std::string& value,
+                            std::string* err) const {
+  const Opt* o = find(name);
+  if (o == nullptr) {
+    *err = "unknown option: " + name;
+    const std::string near = suggest(name);
+    if (!near.empty()) *err += " (did you mean " + near + "?)";
+    return false;
+  }
+  if (o->type == Type::kFlag) {
+    if (value.empty() || value == "true" || value == "false" || value == "1" ||
+        value == "0")
+      return true;
+    *err = name + " is a switch; got '" + value + "' (expected true/false)";
+    return false;
+  }
+  if (o->type == Type::kNum) {
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      *err = "bad value for " + name + ": '" + value + "' (expected a number)";
+      return false;
+    }
+  }
+  return true;
+}
+
 std::size_t OptionSet::edit_distance(const std::string& a, const std::string& b) {
   // Single-row Levenshtein; option names are short so O(|a||b|) is nothing.
   std::vector<std::size_t> row(b.size() + 1);

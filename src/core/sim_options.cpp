@@ -1,0 +1,134 @@
+#include "core/sim_options.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uno {
+
+OptionSet make_sim_options() {
+  OptionSet opts("uno_sim", "run one simulation and print FCT statistics");
+  opts.begin_group("simulation");
+  opts.add_str("scheme", "uno", "NAME",
+               "uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
+               "swift+bbr | dctcp | unocc+rps | unocc+plb | unocc+reps");
+  opts.add_str("workload", "poisson", "NAME", "poisson | incast | permutation | replay");
+  opts.add_num("seed", 1, "N", "RNG seed");
+  opts.add_num("deadline-ms", 1000, "F", "simulation deadline");
+  opts.add_flag("queues", "also print the busiest queues");
+  opts.add_flag("version", "print build info (git hash, compiler, flags) and exit");
+  opts.add_flag("help", "print this help and exit");
+
+  opts.begin_group("workload knobs");
+  opts.add_num("load", 0.4, "F", "Poisson offered load fraction");
+  opts.add_num("duration-ms", 5, "F", "Poisson arrival window");
+  opts.add_num("active-hosts", 64, "N", "Poisson participants (0 = all)");
+  opts.add_num("size-scale", 1.0 / 32.0, "F", "scale factor for Poisson CDFs");
+  opts.add_num("flows", 8, "N", "incast senders (half intra, half inter)");
+  opts.add_num("size-mb", 8, "F", "flow size for incast/permutation");
+  opts.add_str("replay", "", "FILE", "replay workload: CSV of src,dst,bytes,start_us");
+
+  opts.begin_group("topology");
+  opts.add_num("k", 8, "N", "fat-tree arity per DC");
+  opts.add_num("dcs", 2, "N", "datacenters (full border mesh)");
+  opts.add_num("cross-links", 8, "N", "WAN links between the borders");
+  opts.add_num("rtt-ratio", 143, "N", "inter/intra RTT ratio (default => 2 ms)");
+  opts.add_num("ec-data", 8, "N", "UnoRC EC block data shards");
+  opts.add_num("ec-parity", 2, "N", "UnoRC EC block parity shards");
+
+  opts.begin_group("faults");
+  opts.add_num("fail-links", 0, "N", "border links to fail at t=0");
+  opts.add_str("fault", "", "SPEC",
+               "fault plan: ';'-separated clauses, e.g.\n"
+               "\"2ms down border:0\" or\n"
+               "\"1ms flap border:1 period=500us duty=0.5\"\n"
+               "kinds: down|up|flap|latency|loss|ecn-stuck;\n"
+               "targets: border:N | border:* | name glob");
+  opts.add_num("fault-sample-us", 250, "F", "resilience goodput sample period");
+  opts.add_num("loss-scale", 0, "F", "Table-1 burst loss amplification");
+
+  opts.begin_group("observability");
+  opts.add_str("trace", "", "FILE",
+               "write a Chrome trace_event JSON flight recording\n"
+               "(load in Perfetto / chrome://tracing)");
+  opts.add_str("trace-categories", "all", "LIST",
+               "comma-separated: queue,cc,lb,rc,fault (or \"all\")");
+  opts.add_num("trace-ring", 1 << 10, "N", "per-component trace ring capacity");
+  opts.add_num("trace-depth-us", 4, "F", "queue-depth sample period in simulated us");
+  opts.add_str("metrics", "", "FILE", "write end-of-run scalar metrics as JSON");
+
+  opts.begin_group("batch mode (merged summary table instead of the full report)");
+  opts.add_num("seeds", 1, "N", "run seeds seed..seed+N-1");
+  opts.add_str("sweep", "", "KEY=LO:HI:N",
+               "N evenly spaced points over KEY;\n"
+               "keys: load | rtt-ratio | size-mb | flows");
+  opts.add_num("jobs", 1, "N", "worker threads for the batch (0 = one per core)");
+
+  opts.begin_group("farm worker mode (what uno_farm invokes; see uno_farm --help)");
+  opts.add_str("one-cell", "", "FILE",
+               "run one cell, write its result as JSON to FILE, and\n"
+               "exit 0 once the result is written (even on a deadline\n"
+               "miss: the result records done=false), 2 on a\n"
+               "configuration error — so any non-{0,2} exit means the\n"
+               "worker crashed and the farm should retry");
+  return opts;
+}
+
+const std::vector<std::string>& sweep_keys() {
+  static const std::vector<std::string> keys{"load", "rtt-ratio", "size-mb", "flows"};
+  return keys;
+}
+
+bool parse_range(const std::string& text, double* lo, double* hi, int* n,
+                 std::string* err) {
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "%lf:%lf:%d%n", lo, hi, n, &consumed) != 3 ||
+      static_cast<std::size_t>(consumed) != text.size()) {
+    *err = "malformed range '" + text + "' (expected LO:HI:N)";
+    return false;
+  }
+  if (*n < 1) {
+    *err = "range '" + text + "': N must be >= 1";
+    return false;
+  }
+  if (*lo > *hi) {
+    *err = "range '" + text + "': LO must be <= HI";
+    return false;
+  }
+  return true;
+}
+
+double range_value(double lo, double hi, int n, int i) {
+  return n <= 1 ? lo : lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+}
+
+bool parse_sweep(const std::string& spec, Sweep* out, std::string* err) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    *err = "expected KEY=LO:HI:N";
+    return false;
+  }
+  out->key = spec.substr(0, eq);
+  const auto& keys = sweep_keys();
+  if (std::find(keys.begin(), keys.end(), out->key) == keys.end()) {
+    *err = "unknown sweep key: " + out->key;
+    // The batch sweep varies a fixed subset of the table, so the suggestion
+    // ranges over that subset, not every flag.
+    std::string best;
+    std::size_t best_d = out->key.size();
+    for (const std::string& k : keys) {
+      const std::size_t d = OptionSet::edit_distance(out->key, k);
+      if (d < best_d) {
+        best_d = d;
+        best = k;
+      }
+    }
+    if (!best.empty() && best_d <= 3) *err += " (did you mean " + best + "?)";
+    *err += "; keys: load | rtt-ratio | size-mb | flows";
+    return false;
+  }
+  if (!parse_range(spec.substr(eq + 1), &out->lo, &out->hi, &out->n, err)) return false;
+  out->active = true;
+  return true;
+}
+
+}  // namespace uno

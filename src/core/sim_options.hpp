@@ -1,0 +1,48 @@
+// The uno_sim option table and batch-sweep grammar, shared across binaries.
+//
+// uno_sim parses argv against this table; uno_farm validates experiment
+// specs against the *same* table (so a spec can vary any registered knob and
+// unknown keys get the same did-you-mean treatment as a typo'd flag); tests
+// exercise both without spawning a process. Keeping the table in one place
+// is what makes "a farm cell is just a uno_sim invocation" literally true.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace uno {
+
+/// Every uno_sim flag: simulation, workload, topology, faults,
+/// observability, batch, and farm-worker groups. See uno_sim --help.
+OptionSet make_sim_options();
+
+/// The keys --sweep KEY=LO:HI:N can vary (a subset of the table).
+const std::vector<std::string>& sweep_keys();
+
+/// Parse "LO:HI:N" with nothing left over. Rejects N < 1 and LO > HI.
+bool parse_range(const std::string& text, double* lo, double* hi, int* n,
+                 std::string* err);
+
+/// The i-th of `n` evenly spaced points over [lo, hi] (n == 1 -> lo). The
+/// one interpolation both --sweep and farm range dimensions use, so a farm
+/// grid and the in-process sweep visit bit-identical parameter values.
+double range_value(double lo, double hi, int n, int i);
+
+/// --sweep KEY=LO:HI:N over one batch dimension.
+struct Sweep {
+  bool active = false;
+  std::string key;
+  double lo = 0, hi = 0;
+  int n = 0;
+
+  double value(int i) const { return range_value(lo, hi, n, i); }
+};
+
+/// Parse a --sweep spec. Unknown keys are rejected with a nearest-match
+/// suggestion (OptionSet::edit_distance over sweep_keys()); malformed
+/// ranges, N < 1, and LO > HI are errors.
+bool parse_sweep(const std::string& spec, Sweep* out, std::string* err);
+
+}  // namespace uno

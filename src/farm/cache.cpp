@@ -1,0 +1,65 @@
+#include "farm/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace uno {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string farm_cell_key(const FarmCell& cell, const std::string& build_id) {
+  const std::uint64_t h = fnv1a64(cell.canonical() + "@" + build_id);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool ResultCache::ensure_dir(std::string* err) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    *err = "cannot create cache dir " + dir_ + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool ResultCache::has(const std::string& key) const {
+  std::error_code ec;
+  const auto size = fs::file_size(path_for(key), ec);
+  return !ec && size > 0;
+}
+
+bool ResultCache::store(const std::string& key, const std::string& tmp_path,
+                        std::string* err) {
+  std::error_code ec;
+  fs::rename(tmp_path, path_for(key), ec);
+  if (ec) {
+    *err = "cannot store cache entry " + key + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool ResultCache::read(const std::string& key, std::string* contents) const {
+  std::ifstream in(path_for(key));
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *contents = text.str();
+  return true;
+}
+
+}  // namespace uno

@@ -1,0 +1,49 @@
+// Content-addressed result cache for farm cells.
+//
+// A cell's key is a 64-bit FNV-1a hash (16 hex digits) over its canonical
+// resolved configuration plus the worker binary's build id — so a result is
+// reused only when *neither* the configuration *nor* the binary that would
+// produce it has changed. Editing one dimension of a spec re-keys only the
+// affected cells; rebuilding the simulator re-keys everything.
+//
+// The cache is a flat directory of <key>.json files (the cell-result JSON
+// uno_sim --one-cell wrote). Writers land results with write-to-temp +
+// rename so a cache file is always complete: a crash mid-store leaves a
+// stray temp file, never a truncated result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "farm/spec.hpp"
+
+namespace uno {
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a64(const std::string& data);
+
+/// Cache key for `cell` under `build_id` (build_info_string() of the worker
+/// binary): 16 lowercase hex digits.
+std::string farm_cell_key(const FarmCell& cell, const std::string& build_id);
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+  /// Create the cache directory (and parents). False + *err on failure.
+  bool ensure_dir(std::string* err);
+
+  std::string path_for(const std::string& key) const { return dir_ + "/" + key + ".json"; }
+  /// A non-empty result file exists for `key`.
+  bool has(const std::string& key) const;
+  /// Move `tmp_path` (a completed result file) into the cache for `key`.
+  bool store(const std::string& key, const std::string& tmp_path, std::string* err);
+  /// Read a cached result; false when absent.
+  bool read(const std::string& key, std::string* contents) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace uno

@@ -1,0 +1,369 @@
+#include "farm/driver.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <system_error>
+#include <thread>
+
+#include "core/parallel.hpp"
+#include "farm/cache.hpp"
+#include "farm/journal.hpp"
+#include "farm/json.hpp"
+#include "obs/recorder.hpp"
+
+namespace uno {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+CommandBuilder sim_command(const std::string& sim_binary) {
+  return [sim_binary](const FarmCell& cell, const std::string& result_path) {
+    std::vector<std::string> argv{sim_binary, "--one-cell", result_path};
+    for (const auto& [key, value] : cell.config) {
+      // Flags: "--key" when true, omitted when false; typed options are
+      // passed as the canonical "--key=value" spelling.
+      if (value == "true")
+        argv.push_back("--" + key);
+      else if (value == "false")
+        continue;
+      else
+        argv.push_back("--" + key + "=" + value);
+    }
+    return argv;
+  };
+}
+
+namespace {
+
+/// One in-flight child process.
+struct Attempt {
+  pid_t pid = -1;
+  std::size_t cell = 0;
+  int number = 1;  // 1-based attempt counter
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  bool timed_out = false;
+  std::string tmp;  // result path the child writes
+};
+
+/// A failed attempt waiting out its backoff.
+struct Retry {
+  Clock::time_point when;
+  std::size_t cell = 0;
+  int next_attempt = 2;
+};
+
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure, -1)
+  // Child: stdout/stderr -> per-cell log (appended across attempts), then
+  // exec. Only async-signal-safe calls from here on.
+  const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    if (fd > STDERR_FILENO) ::close(fd);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  ::execvp(cargv[0], cargv.data());
+  ::_exit(127);
+}
+
+bool make_dir(const std::string& path, std::string* err) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    *err = "cannot create " + path + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+/// "completed/spawned" etc. pulled out of one cached cell result. Numbers
+/// are re-rendered through json_number(), so the merged row depends only on
+/// the cached bytes.
+std::vector<std::string> result_cells(const JsonValue& r) {
+  const auto num = [&r](const char* field) {
+    const JsonValue* v = r.get(field);
+    return v != nullptr && v->is_number() ? json_number(v->number) : std::string("");
+  };
+  const JsonValue* fct = r.get("fct");
+  const auto fnum = [fct](const char* field) {
+    const JsonValue* v = fct != nullptr ? fct->get(field) : nullptr;
+    return v != nullptr && v->is_number() ? json_number(v->number) : std::string("");
+  };
+  const JsonValue* done = r.get("done");
+  std::string flows = num("flows_completed") + "/" + num("flows_spawned");
+  return {std::move(flows),
+          done != nullptr && done->is_bool() && done->boolean ? "yes" : "NO",
+          fnum("mean_us"),
+          fnum("p50_us"),
+          fnum("p99_us"),
+          fnum("max_us"),
+          fnum("mean_slowdown"),
+          num("drops"),
+          num("trims"),
+          num("sim_ms")};
+}
+
+bool write_merged(const FarmPlan& plan, const std::vector<std::string>& keys,
+                  const FarmReport& report, const ResultCache& cache,
+                  const std::string& out_dir, std::string* merged_path,
+                  std::string* err) {
+  Recorder rec(out_dir);
+  Recorder::Csv csv = rec.csv("merged.csv");
+  if (!csv.ok()) {
+    *err = "cannot write merged.csv under " + out_dir;
+    return false;
+  }
+  std::vector<std::string> header{"cell"};
+  header.insert(header.end(), plan.coord_keys.begin(), plan.coord_keys.end());
+  // "completed", not "flows": a dimension may itself be named flows.
+  for (const char* h : {"completed", "done", "mean_us", "p50_us", "p99_us", "max_us",
+                        "mean_slowdown", "drops", "trims", "sim_ms", "status"})
+    header.push_back(h);
+  csv.row(header);
+
+  for (const FarmCell& cell : plan.cells) {
+    std::vector<std::string> row{std::to_string(cell.index)};
+    for (const std::string& k : plan.coord_keys) {
+      std::string v;
+      for (const auto& [ck, cv] : cell.coords)
+        if (ck == k) v = cv;
+      row.push_back(v);
+    }
+    const CellOutcome& o = report.outcomes[cell.index];
+    if (o.status == CellOutcome::Status::kOk) {
+      std::string contents;
+      JsonValue r;
+      std::string detail;
+      if (!cache.read(keys[cell.index], &contents) ||
+          !json_parse(contents, &r, &detail)) {
+        *err = "corrupt cache entry for cell " + std::to_string(cell.index) + " (" +
+               keys[cell.index] + "): " + detail;
+        return false;
+      }
+      for (std::string& c : result_cells(r)) row.push_back(std::move(c));
+      row.push_back("ok");
+    } else {
+      for (int i = 0; i < 10; ++i) row.emplace_back();
+      row.push_back("failed");
+    }
+    csv.row(row);
+  }
+  *merged_path = rec.path_for("merged.csv");
+  return true;
+}
+
+}  // namespace
+
+bool run_farm(const FarmPlan& plan, const std::string& build_id,
+              const std::string& out_dir, const FarmOptions& opts,
+              const CommandBuilder& command, FarmReport* report, std::string* err) {
+  *report = FarmReport{};
+  report->cells = plan.cells.size();
+  report->outcomes.assign(plan.cells.size(), CellOutcome{});
+
+  ResultCache cache(out_dir + "/cache");
+  FarmJournal journal(out_dir + "/journal.jsonl");
+  const std::string tmp_dir = out_dir + "/tmp";
+  const std::string log_dir = out_dir + "/logs";
+  if (!make_dir(out_dir, err) || !make_dir(tmp_dir, err) || !make_dir(log_dir, err))
+    return false;
+  if (opts.fresh) {
+    std::error_code ec;
+    fs::remove_all(cache.dir(), ec);
+    fs::remove(journal.path(), ec);
+  }
+  if (!cache.ensure_dir(err)) return false;
+
+  std::vector<std::string> keys;
+  keys.reserve(plan.cells.size());
+  for (const FarmCell& cell : plan.cells)
+    keys.push_back(farm_cell_key(cell, build_id));
+
+  // Replay journal + cache: a cell is already settled when its result is
+  // cached (hit) or a previous run exhausted its retries (journaled failed).
+  std::map<std::string, JournalEntry> journaled;
+  if (!opts.fresh) {
+    std::vector<JournalEntry> entries;
+    if (!journal.load(&entries, err)) return false;
+    for (JournalEntry& e : entries) journaled[e.key] = std::move(e);
+  }
+  std::deque<std::size_t> ready;
+  for (const FarmCell& cell : plan.cells) {
+    CellOutcome& o = report->outcomes[cell.index];
+    if (cache.has(keys[cell.index])) {
+      o.status = CellOutcome::Status::kOk;
+      o.cache_hit = true;
+      ++report->cache_hits;
+      continue;
+    }
+    const auto it = journaled.find(keys[cell.index]);
+    if (it != journaled.end() && !it->second.ok) {
+      o.status = CellOutcome::Status::kFailed;
+      o.from_journal = true;
+      o.attempts = it->second.attempts;
+      o.error = it->second.error;
+      ++report->failed;
+      continue;
+    }
+    ready.push_back(cell.index);
+  }
+
+  const int jobs = resolve_jobs(opts.jobs);
+  const int max_attempts = 1 + std::max(0, opts.retries);
+  std::vector<Attempt> running;
+  std::vector<Retry> delayed;
+  std::vector<int> attempts_made(plan.cells.size(), 0);
+  bool stopping = false;
+
+  const auto finalize = [&](std::size_t cell, bool ok, int attempts,
+                            const std::string& error) -> bool {
+    CellOutcome& o = report->outcomes[cell];
+    o.status = ok ? CellOutcome::Status::kOk : CellOutcome::Status::kFailed;
+    o.attempts = attempts;
+    o.error = error;
+    if (!ok) ++report->failed;
+    ++report->executed;
+    if (opts.stop_after > 0 && report->executed >= opts.stop_after) stopping = true;
+    return journal.append({keys[cell], cell, ok, attempts, error}, err);
+  };
+
+  const auto launch = [&](std::size_t cell, int attempt_no) -> bool {
+    Attempt a;
+    a.cell = cell;
+    a.number = attempt_no;
+    a.tmp = tmp_dir + "/cell" + std::to_string(cell) + "_a" +
+            std::to_string(attempt_no) + ".json";
+    std::error_code ec;
+    fs::remove(a.tmp, ec);
+    attempts_made[cell] = attempt_no;
+    const std::string log = log_dir + "/cell" + std::to_string(cell) + ".log";
+    a.pid = spawn(command(plan.cells[cell], a.tmp), log);
+    if (opts.timeout_s > 0) {
+      a.deadline = Clock::now() + std::chrono::microseconds(
+                                      static_cast<long>(opts.timeout_s * 1e6));
+      a.has_deadline = true;
+    }
+    if (a.pid < 0) return false;  // fork failure: treat as a failed attempt
+    running.push_back(a);
+    return true;
+  };
+
+  const auto attempt_failed = [&](std::size_t cell, int attempt_no,
+                                  const std::string& error) -> bool {
+    // When interrupting, a mid-retry cell is left pending (not journaled
+    // failed) so the resume gets its full retry budget back.
+    if (stopping) return true;
+    if (attempt_no < max_attempts) {
+      const double delay_ms = opts.backoff_ms * static_cast<double>(1 << (attempt_no - 1));
+      delayed.push_back({Clock::now() + std::chrono::microseconds(
+                                            static_cast<long>(delay_ms * 1e3)),
+                         cell, attempt_no + 1});
+      return true;
+    }
+    return finalize(cell, false, attempt_no, error);
+  };
+
+  while (!ready.empty() || !delayed.empty() || !running.empty()) {
+    if (stopping) {
+      ready.clear();
+      delayed.clear();
+    }
+    const auto now = Clock::now();
+
+    // Backoffs that have elapsed rejoin the ready queue.
+    for (std::size_t i = 0; i < delayed.size();) {
+      if (delayed[i].when <= now) {
+        ready.push_front(delayed[i].cell);  // retries run before fresh cells
+        delayed[i] = delayed.back();
+        delayed.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    while (static_cast<int>(running.size()) < jobs && !ready.empty()) {
+      const std::size_t cell = ready.front();
+      ready.pop_front();
+      const int attempt_no = attempts_made[cell] + 1;
+      if (!launch(cell, attempt_no)) {
+        if (!attempt_failed(cell, attempt_no, "fork failed")) return false;
+      }
+    }
+
+    // Kill attempts that blew their budget; the reap below sees the signal.
+    for (Attempt& a : running) {
+      if (a.has_deadline && !a.timed_out && now > a.deadline) {
+        ::kill(a.pid, SIGKILL);
+        a.timed_out = true;
+      }
+    }
+
+    bool reaped = false;
+    for (std::size_t i = 0; i < running.size();) {
+      Attempt& a = running[i];
+      int status = 0;
+      const pid_t r = ::waitpid(a.pid, &status, WNOHANG);
+      if (r == 0) {
+        ++i;
+        continue;
+      }
+      reaped = true;
+      const Attempt done = a;
+      running[i] = running.back();
+      running.pop_back();
+
+      std::string error;
+      if (done.timed_out) {
+        error = "timeout after " + json_number(opts.timeout_s) + "s";
+      } else if (WIFSIGNALED(status)) {
+        error = "signal " + std::to_string(WTERMSIG(status));
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        error = "exit " + std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      } else {
+        std::error_code ec;
+        const auto size = fs::file_size(done.tmp, ec);
+        if (ec || size == 0) error = "worker exited 0 but wrote no result";
+      }
+
+      if (error.empty()) {
+        if (!cache.store(keys[done.cell], done.tmp, err)) return false;
+        if (!finalize(done.cell, true, done.number, "")) return false;
+      } else {
+        std::error_code ec;
+        fs::remove(done.tmp, ec);
+        if (!attempt_failed(done.cell, done.number, error)) return false;
+      }
+    }
+    if (!reaped && !running.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (running.empty() && ready.empty() && !delayed.empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  for (const CellOutcome& o : report->outcomes)
+    if (o.status == CellOutcome::Status::kPending) report->stopped_early = true;
+
+  // The merged table exists only in its final, deterministic form: plan
+  // order, cached bytes, no scheduling artifacts. A partial farm writes none.
+  if (!report->stopped_early) {
+    if (!write_merged(plan, keys, *report, cache, out_dir, &report->merged_path, err))
+      return false;
+    report->merged_written = true;
+  }
+  return true;
+}
+
+}  // namespace uno

@@ -1,0 +1,67 @@
+#include "farm/journal.hpp"
+
+#include <fstream>
+
+#include "farm/json.hpp"
+
+namespace uno {
+
+bool FarmJournal::load(std::vector<JournalEntry>* out, std::string* err) const {
+  out->clear();
+  std::ifstream in(path_);
+  if (!in) return true;  // no journal yet: nothing finalized
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string detail;
+    if (!json_parse(line, &v, &detail) || !v.is_object()) {
+      // A crash can truncate only the *last* line; anything before it that
+      // fails to parse means the journal was tampered with or corrupted.
+      if (in.peek() == std::ifstream::traits_type::eof()) break;
+      *err = path_ + ":" + std::to_string(lineno) + ": bad journal line: " + detail;
+      return false;
+    }
+    const JsonValue* key = v.get("key");
+    const JsonValue* index = v.get("index");
+    const JsonValue* status = v.get("status");
+    if (key == nullptr || !key->is_string() || status == nullptr ||
+        !status->is_string() || index == nullptr || !index->is_number()) {
+      *err = path_ + ":" + std::to_string(lineno) + ": journal line missing fields";
+      return false;
+    }
+    JournalEntry e;
+    e.key = key->string;
+    e.index = static_cast<std::size_t>(index->number);
+    e.ok = status->string == "ok";
+    if (const JsonValue* attempts = v.get("attempts"); attempts != nullptr)
+      e.attempts = static_cast<int>(attempts->number);
+    if (const JsonValue* error = v.get("error"); error != nullptr && error->is_string())
+      e.error = error->string;
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+bool FarmJournal::append(const JournalEntry& entry, std::string* err) const {
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    *err = "cannot append to journal " + path_;
+    return false;
+  }
+  out << "{\"key\": " << json_quote(entry.key) << ", \"index\": " << entry.index
+      << ", \"status\": " << (entry.ok ? "\"ok\"" : "\"failed\"")
+      << ", \"attempts\": " << entry.attempts;
+  if (!entry.error.empty()) out << ", \"error\": " << json_quote(entry.error);
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    *err = "short write to journal " + path_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace uno

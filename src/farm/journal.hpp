@@ -1,0 +1,42 @@
+// Resumable-farm journal: an append-only JSONL file of finalized cells.
+//
+// One line per finished cell — its cache key, plan index, ok/failed status,
+// attempt count, and last error. Appends are flushed line-at-a-time, and
+// load() tolerates a truncated trailing line, so a farm killed at any
+// instant leaves a journal that replays cleanly: cells journaled `ok` (with
+// their result in the cache) and cells journaled `failed` (retries already
+// exhausted) are not re-run on resume, everything else is. Because entries
+// are keyed by cell hash rather than plan position, editing the spec
+// between runs can never mis-attribute an old entry to a new cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uno {
+
+struct JournalEntry {
+  std::string key;        // farm_cell_key()
+  std::size_t index = 0;  // plan position when it ran (informational)
+  bool ok = false;
+  int attempts = 0;
+  std::string error;  // last failure, empty for ok cells
+};
+
+class FarmJournal {
+ public:
+  explicit FarmJournal(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+  /// Parse every complete line; a truncated final line (crash mid-append)
+  /// is skipped, any other malformed line is an error.
+  bool load(std::vector<JournalEntry>* out, std::string* err) const;
+  /// Append one entry and flush.
+  bool append(const JournalEntry& entry, std::string* err) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace uno

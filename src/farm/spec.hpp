@@ -1,0 +1,83 @@
+// Declarative experiment specs: a small JSON grammar over the uno_sim
+// OptionSet table that expands deterministically into a list of cells.
+//
+// A spec is one JSON object:
+//
+//   {
+//     "name": "load_fec_grid",            // required; names the output dir
+//     "base": {"scheme": "uno", "k": 4},  // fixed uno_sim options
+//     "dims": {                           // grid dimensions, cross product
+//       "load": "0.1:0.8:8",              //   LO:HI:N range (uno_sim --sweep
+//       "ec-parity": [1, 2, 4]            //   interpolation), or a value list
+//     },
+//     "seeds": 5                          // seed block: seed..seed+4
+//   }
+//
+// Every key in "base" and "dims" must name a registered uno_sim option
+// (validated against the shared table, unknown keys rejected with the same
+// did-you-mean suggestion the CLI gives) — so anything uno_sim can do, a
+// farm can sweep: schemes, fault plans, trace settings, EC geometry.
+//
+// Expansion is deterministic: dimensions vary in spec order (first dimension
+// outermost), the seed block innermost, and numbers are canonicalized
+// through one shortest-round-trip formatter — the same spec always produces
+// the same cells with the same labels in the same order, which is what
+// makes cell hashing and resume sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace uno {
+
+/// One grid dimension, already canonicalized to value strings.
+struct FarmDim {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+struct FarmSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> base;  // key -> value
+  std::vector<FarmDim> dims;                              // spec order
+  int seeds = 1;
+  std::uint64_t seed_base = 1;  // base["seed"] when given
+
+  /// Parse + validate a spec document against `sim_opts` (the uno_sim
+  /// table). False + *err on malformed JSON, unknown/reserved keys, bad
+  /// values, or bad ranges.
+  static bool parse(const std::string& json_text, const OptionSet& sim_opts,
+                    FarmSpec* out, std::string* err);
+  /// parse() over a file's contents.
+  static bool load(const std::string& path, const OptionSet& sim_opts, FarmSpec* out,
+                   std::string* err);
+};
+
+/// One fully resolved run: base options + this cell's dimension values +
+/// seed, as uno_sim option assignments.
+struct FarmCell {
+  std::size_t index = 0;                                    // plan order
+  std::string label;                                        // "load=0.1 seed=1"
+  std::vector<std::pair<std::string, std::string>> config;  // key -> value
+  std::vector<std::pair<std::string, std::string>> coords;  // varying keys only
+
+  /// Sorted "key=value" lines — the canonical form the cache key hashes.
+  /// Sorted (not spec-order) so two specs that describe the same resolved
+  /// configuration hash identically.
+  std::string canonical() const;
+};
+
+struct FarmPlan {
+  std::string name;
+  std::vector<std::string> coord_keys;  // dim keys (+ "seed" for seed blocks)
+  std::vector<FarmCell> cells;
+};
+
+/// Expand a spec into its cell list (row-major over dims, seeds innermost).
+FarmPlan expand(const FarmSpec& spec);
+
+}  // namespace uno

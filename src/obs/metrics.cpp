@@ -14,20 +14,27 @@ const MetricRegistry::Entry* MetricRegistry::find(const std::string& name) const
 MetricRegistry::Entry& MetricRegistry::upsert(const std::string& name) {
   for (Entry& e : entries_)
     if (e.name == name) return e;
-  entries_.push_back(Entry{name, true, 0, 0});
+  entries_.push_back(Entry{});
+  entries_.back().name = name;
   return entries_.back();
 }
 
 void MetricRegistry::set_counter(const std::string& name, std::uint64_t value) {
   Entry& e = upsert(name);
-  e.is_counter = true;
+  e.kind = Entry::Kind::kCounter;
   e.count = value;
 }
 
 void MetricRegistry::set_gauge(const std::string& name, double value) {
   Entry& e = upsert(name);
-  e.is_counter = false;
+  e.kind = Entry::Kind::kGauge;
   e.value = value;
+}
+
+void MetricRegistry::set_info(const std::string& name, std::string value) {
+  Entry& e = upsert(name);
+  e.kind = Entry::Kind::kInfo;
+  e.text = std::move(value);
 }
 
 std::uint64_t MetricRegistry::counter(const std::string& name) const {
@@ -40,18 +47,38 @@ double MetricRegistry::gauge(const std::string& name) const {
   return e != nullptr ? e->value : 0.0;
 }
 
+std::string MetricRegistry::info(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->text : std::string{};
+}
+
 std::string MetricRegistry::to_json() const {
   std::string out = "{\n";
   char buf[128];
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
-    int n;
-    if (e.is_counter)
-      n = std::snprintf(buf, sizeof(buf), "  \"%s\": %" PRIu64 "%s\n", e.name.c_str(),
-                        e.count, i + 1 < entries_.size() ? "," : "");
-    else
-      n = std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n", e.name.c_str(), e.value,
-                        i + 1 < entries_.size() ? "," : "");
+    const char* tail = i + 1 < entries_.size() ? "," : "";
+    int n = 0;
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        n = std::snprintf(buf, sizeof(buf), "  \"%s\": %" PRIu64 "%s\n", e.name.c_str(),
+                          e.count, tail);
+        break;
+      case Entry::Kind::kGauge:
+        n = std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n", e.name.c_str(),
+                          e.value, tail);
+        break;
+      case Entry::Kind::kInfo:
+        // Info strings are trusted metadata (build ids, scheme names);
+        // escape the JSON specials anyway so the document always parses.
+        out += "  \"" + e.name + "\": \"";
+        for (const char c : e.text) {
+          if (c == '"' || c == '\\') out.push_back('\\');
+          out.push_back(c);
+        }
+        out += std::string("\"") + tail + "\n";
+        break;
+    }
     if (n > 0) out.append(buf);
   }
   out += "}\n";

@@ -16,13 +16,16 @@ namespace uno {
 
 class MetricRegistry {
  public:
-  /// Set (or overwrite) an integer counter / floating gauge.
+  /// Set (or overwrite) an integer counter / floating gauge / info string
+  /// (build identity, scheme names — metadata, not measurements).
   void set_counter(const std::string& name, std::uint64_t value);
   void set_gauge(const std::string& name, double value);
+  void set_info(const std::string& name, std::string value);
 
-  /// Lookup; returns 0 when absent (see has()).
+  /// Lookup; returns 0 / "" when absent (see has()).
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
+  std::string info(const std::string& name) const;
   bool has(const std::string& name) const { return find(name) != nullptr; }
 
   std::size_t size() const { return entries_.size(); }
@@ -34,10 +37,12 @@ class MetricRegistry {
 
  private:
   struct Entry {
+    enum class Kind { kCounter, kGauge, kInfo };
     std::string name;
-    bool is_counter = true;
+    Kind kind = Kind::kCounter;
     std::uint64_t count = 0;
     double value = 0;
+    std::string text;
   };
   const Entry* find(const std::string& name) const;
   Entry& upsert(const std::string& name);

@@ -1,0 +1,700 @@
+// Sweep-farm tests: the JSON layer, spec parsing/expansion, the
+// content-addressed cache, the resume journal, the multi-process driver
+// (against shell stubs that crash, hang, flake, or lie), and — when
+// UNO_SIM_PATH is defined by the build — end-to-end determinism against the
+// real uno_sim worker: re-run = all cache hits, edited dimension re-runs
+// only affected cells, interrupted-then-resumed merged output byte-identical
+// to an uninterrupted run at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sim_options.hpp"
+#include "farm/cache.hpp"
+#include "farm/driver.hpp"
+#include "farm/journal.hpp"
+#include "farm/json.hpp"
+#include "farm/spec.hpp"
+
+namespace uno {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// helpers
+
+/// mkdtemp-backed scratch directory, removed on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/uno_farm_test_XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string operator/(const std::string& rel) const { return path + "/" + rel; }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A plan of `n` synthetic cells for driver tests (no real sim options).
+FarmPlan stub_plan(int n) {
+  FarmPlan plan;
+  plan.name = "stub";
+  plan.coord_keys = {"cell"};
+  for (int i = 0; i < n; ++i) {
+    FarmCell cell;
+    cell.index = static_cast<std::size_t>(i);
+    cell.config = {{"cell", std::to_string(i)}};
+    cell.coords = cell.config;
+    cell.label = "cell=" + std::to_string(i);
+    plan.cells.push_back(std::move(cell));
+  }
+  return plan;
+}
+
+/// Result JSON a well-behaved stub worker writes (enough for merged.csv).
+const char* kStubResult =
+    "{\"done\": true, \"flows_spawned\": 2, \"flows_completed\": 2,"
+    " \"sim_ms\": 1, \"drops\": 0, \"trims\": 0,"
+    " \"fct\": {\"mean_us\": 10, \"p50_us\": 10, \"p99_us\": 12, \"max_us\": 12,"
+    " \"mean_slowdown\": 1.5}}";
+
+/// CommandBuilder running `script` under /bin/sh; $1 is the result path.
+CommandBuilder shell_command(const std::string& script) {
+  return [script](const FarmCell&, const std::string& result_path) {
+    return std::vector<std::string>{"/bin/sh", "-c", script, "stub", result_path};
+  };
+}
+
+FarmOptions quick_opts() {
+  FarmOptions opts;
+  opts.jobs = 2;
+  opts.timeout_s = 20;
+  opts.retries = 1;
+  opts.backoff_ms = 1;  // keep retry tests fast
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// JSON layer
+
+TEST(FarmJson, ParsesNestedDocumentPreservingKeyOrder) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(
+      "{\"z\": [1, 2.5, -3e2], \"a\": {\"s\": \"q\\\"\\n\\u0041\"},"
+      " \"flag\": true, \"none\": null}",
+      &v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 4u);
+  // Insertion order is semantic (it fixes grid expansion order).
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  const JsonValue* z = v.get("z");
+  ASSERT_TRUE(z != nullptr && z->is_array());
+  ASSERT_EQ(z->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(z->array[2].number, -300.0);
+  const JsonValue* s = v.get("a")->get("s");
+  ASSERT_TRUE(s != nullptr && s->is_string());
+  EXPECT_EQ(s->string, "q\"\nA");
+  EXPECT_TRUE(v.get("flag")->boolean);
+  EXPECT_EQ(v.get("none")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.get("absent"), nullptr);
+}
+
+TEST(FarmJson, RejectsDuplicateKeys) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("{\"k\": 1, \"k\": 2}", &v, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(FarmJson, ErrorsCarryLineNumbers) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("{\n  \"k\": 1,\n  oops\n}", &v, &err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(FarmJson, RejectsTrailingGarbageAndDeepNesting) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("{} x", &v, &err));
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep, &v, &err));
+  EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+TEST(FarmJson, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(2), "2");
+  EXPECT_EQ(json_number(-0.25), "-0.25");
+  // An awkward value still round-trips exactly, whatever its spelling.
+  const double v = 1.0 / 3.0;
+  EXPECT_EQ(std::strtod(json_number(v).c_str(), nullptr), v);
+}
+
+TEST(FarmJson, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+// ---------------------------------------------------------------------------
+// --sweep grammar error paths (shared with farm range dimensions)
+
+TEST(FarmSweep, SuggestsNearestKeyForTypo) {
+  Sweep s;
+  std::string err;
+  EXPECT_FALSE(parse_sweep("lod=0.1:0.9:4", &s, &err));
+  EXPECT_NE(err.find("load"), std::string::npos) << err;
+  EXPECT_NE(err.find("did you mean"), std::string::npos) << err;
+}
+
+TEST(FarmSweep, RejectsInvertedRange) {
+  Sweep s;
+  std::string err;
+  EXPECT_FALSE(parse_sweep("load=0.9:0.1:4", &s, &err));
+  EXPECT_NE(err.find("LO must be <= HI"), std::string::npos) << err;
+}
+
+TEST(FarmSweep, RejectsNonPositiveCount) {
+  Sweep s;
+  std::string err;
+  EXPECT_FALSE(parse_sweep("load=0.1:0.9:0", &s, &err));
+  EXPECT_NE(err.find("N must be >= 1"), std::string::npos) << err;
+}
+
+TEST(FarmSweep, RejectsMalformedRange) {
+  Sweep s;
+  std::string err;
+  EXPECT_FALSE(parse_sweep("load=0.1-0.9", &s, &err));
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+  EXPECT_FALSE(parse_sweep("load", &s, &err));
+}
+
+TEST(FarmSweep, ParsesValidSpecWithEvenSpacing) {
+  Sweep s;
+  std::string err;
+  ASSERT_TRUE(parse_sweep("load=0.2:0.8:4", &s, &err)) << err;
+  EXPECT_TRUE(s.active);
+  EXPECT_EQ(s.key, "load");
+  EXPECT_EQ(s.n, 4);
+  EXPECT_DOUBLE_EQ(s.value(0), 0.2);
+  EXPECT_DOUBLE_EQ(s.value(3), 0.8);
+  EXPECT_NEAR(s.value(1), 0.4, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// spec parsing + expansion
+
+class FarmSpecTest : public ::testing::Test {
+ protected:
+  OptionSet opts_ = make_sim_options();
+
+  FarmSpec parse_ok(const std::string& text) {
+    FarmSpec spec;
+    std::string err;
+    EXPECT_TRUE(FarmSpec::parse(text, opts_, &spec, &err)) << err;
+    return spec;
+  }
+  std::string parse_err(const std::string& text) {
+    FarmSpec spec;
+    std::string err;
+    EXPECT_FALSE(FarmSpec::parse(text, opts_, &spec, &err)) << "unexpectedly parsed";
+    return err;
+  }
+};
+
+TEST_F(FarmSpecTest, ExpandsGridRowMajorWithSeedsInnermost) {
+  const FarmSpec spec = parse_ok(
+      "{\"name\": \"grid\", \"base\": {\"scheme\": \"uno\"},"
+      " \"dims\": {\"load\": [0.2, 0.4], \"flows\": \"2:4:2\"}, \"seeds\": 2}");
+  const FarmPlan plan = expand(spec);
+  ASSERT_EQ(plan.cells.size(), 8u);
+  EXPECT_EQ(plan.coord_keys, (std::vector<std::string>{"load", "flows", "seed"}));
+  // First dimension outermost, seed block innermost.
+  using Coords = std::vector<std::pair<std::string, std::string>>;
+  EXPECT_EQ(plan.cells[0].coords,
+            (Coords{{"load", "0.2"}, {"flows", "2"}, {"seed", "1"}}));
+  EXPECT_EQ(plan.cells[1].coords,
+            (Coords{{"load", "0.2"}, {"flows", "2"}, {"seed", "2"}}));
+  EXPECT_EQ(plan.cells[2].coords,
+            (Coords{{"load", "0.2"}, {"flows", "4"}, {"seed", "1"}}));
+  EXPECT_EQ(plan.cells[4].coords,
+            (Coords{{"load", "0.4"}, {"flows", "2"}, {"seed", "1"}}));
+  EXPECT_EQ(plan.cells[7].coords,
+            (Coords{{"load", "0.4"}, {"flows", "4"}, {"seed", "2"}}));
+  EXPECT_EQ(plan.cells[7].label, "load=0.4 flows=4 seed=2");
+  EXPECT_EQ(plan.cells[7].index, 7u);
+}
+
+TEST_F(FarmSpecTest, SeedBaseComesFromBaseSeed) {
+  const FarmSpec spec = parse_ok(
+      "{\"name\": \"s\", \"base\": {\"seed\": 7}, \"seeds\": 2}");
+  EXPECT_EQ(spec.seed_base, 7u);
+  const FarmPlan plan = expand(spec);
+  ASSERT_EQ(plan.cells.size(), 2u);
+  // seed is re-attached per cell, exactly once.
+  using Coords = std::vector<std::pair<std::string, std::string>>;
+  EXPECT_EQ(plan.cells[0].config, (Coords{{"seed", "7"}}));
+  EXPECT_EQ(plan.cells[1].config, (Coords{{"seed", "8"}}));
+}
+
+TEST_F(FarmSpecTest, SingleCellPlanHasLabel) {
+  const FarmPlan plan =
+      expand(parse_ok("{\"name\": \"one\", \"base\": {\"scheme\": \"uno\"}}"));
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].label, "single");
+  EXPECT_TRUE(plan.coord_keys.empty());
+}
+
+TEST_F(FarmSpecTest, CanonicalFormSortsKeys) {
+  FarmCell cell;
+  cell.config = {{"z", "1"}, {"a", "2"}};
+  EXPECT_EQ(cell.canonical(), "a=2\nz=1\n");
+}
+
+TEST_F(FarmSpecTest, RejectsUnknownKeysWithSuggestion) {
+  const std::string err =
+      parse_err("{\"name\": \"x\", \"base\": {\"schem\": \"uno\"}}");
+  EXPECT_NE(err.find("did you mean"), std::string::npos) << err;
+  EXPECT_NE(err.find("scheme"), std::string::npos) << err;
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"lod\": [0.1]}}").find("load"),
+            std::string::npos);
+}
+
+TEST_F(FarmSpecTest, RejectsReservedAndShadowedKeys) {
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"base\": {\"sweep\": \"a\"}}")
+                .find("farm-reserved"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"seed\": [1, 2]}}")
+                .find("\"seeds\" block"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"base\": {\"load\": 0.5},"
+                      " \"dims\": {\"load\": [0.1]}}")
+                .find("also set in \"base\""),
+            std::string::npos);
+}
+
+TEST_F(FarmSpecTest, RejectsBadRangesListsAndSeeds) {
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": \"0.9:0.1:3\"}}")
+                .find("LO must be <= HI"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": \"0.1:0.9:0\"}}")
+                .find("N must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": \"0.1..0.9\"}}")
+                .find("malformed"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": []}}")
+                .find("at least one value"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"seeds\": 0}").find("integer >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"seeds\": 2.5}").find("integer >= 1"),
+            std::string::npos);
+  // Numeric options validate values ("abc" is not a load).
+  EXPECT_FALSE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": [\"abc\"]}}").empty());
+}
+
+TEST_F(FarmSpecTest, RejectsStructuralProblems) {
+  EXPECT_NE(parse_err("{\"nome\": \"x\"}").find("unknown top-level key"),
+            std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"\"}").find("required"), std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"a b\"}").find("A-Za-z0-9"), std::string::npos);
+  EXPECT_NE(parse_err("[1, 2]").find("object"), std::string::npos);
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": 0.5}}")
+                .find("range or a"),
+            std::string::npos);
+  // Grid-size guard.
+  EXPECT_NE(parse_err("{\"name\": \"x\", \"dims\": {\"load\": \"0:1:600\","
+                      " \"flows\": \"1:600:600\"}}")
+                .find("100000"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// cache
+
+TEST(FarmCache, KeyIsStableAndSensitive) {
+  FarmCell a;
+  a.config = {{"load", "0.5"}, {"seed", "1"}};
+  FarmCell b = a;
+  EXPECT_EQ(farm_cell_key(a, "build1"), farm_cell_key(b, "build1"));
+  EXPECT_EQ(farm_cell_key(a, "build1").size(), 16u);
+  EXPECT_EQ(farm_cell_key(a, "build1").find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  b.config[0].second = "0.6";  // value change re-keys
+  EXPECT_NE(farm_cell_key(a, "build1"), farm_cell_key(b, "build1"));
+  // Rebuilding the worker re-keys everything.
+  EXPECT_NE(farm_cell_key(a, "build1"), farm_cell_key(a, "build2"));
+  // Plan order does not affect the key (canonical form is sorted).
+  FarmCell c;
+  c.config = {{"seed", "1"}, {"load", "0.5"}};
+  c.index = 99;
+  EXPECT_EQ(farm_cell_key(a, "build1"), farm_cell_key(c, "build1"));
+}
+
+TEST(FarmCache, StoreIsAtomicRename) {
+  TempDir tmp;
+  ResultCache cache(tmp / "cache");
+  std::string err;
+  ASSERT_TRUE(cache.ensure_dir(&err)) << err;
+  EXPECT_FALSE(cache.has("deadbeefdeadbeef"));
+  const std::string staged = tmp / "staged.json";
+  write_file(staged, "{\"done\": true}");
+  ASSERT_TRUE(cache.store("deadbeefdeadbeef", staged, &err)) << err;
+  EXPECT_FALSE(fs::exists(staged));  // moved, not copied
+  EXPECT_TRUE(cache.has("deadbeefdeadbeef"));
+  std::string contents;
+  ASSERT_TRUE(cache.read("deadbeefdeadbeef", &contents));
+  EXPECT_EQ(contents, "{\"done\": true}");
+  EXPECT_FALSE(cache.read("0000000000000000", &contents));
+}
+
+// ---------------------------------------------------------------------------
+// journal
+
+TEST(FarmJournal, AppendLoadRoundTrip) {
+  TempDir tmp;
+  FarmJournal journal(tmp / "journal.jsonl");
+  std::string err;
+  ASSERT_TRUE(journal.append({"aaaa", 3, true, 1, ""}, &err)) << err;
+  ASSERT_TRUE(journal.append({"bbbb", 7, false, 3, "exit 9"}, &err)) << err;
+  std::vector<JournalEntry> entries;
+  ASSERT_TRUE(journal.load(&entries, &err)) << err;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "aaaa");
+  EXPECT_EQ(entries[0].index, 3u);
+  EXPECT_TRUE(entries[0].ok);
+  EXPECT_EQ(entries[1].key, "bbbb");
+  EXPECT_FALSE(entries[1].ok);
+  EXPECT_EQ(entries[1].attempts, 3);
+  EXPECT_EQ(entries[1].error, "exit 9");
+}
+
+TEST(FarmJournal, MissingFileIsEmpty) {
+  TempDir tmp;
+  FarmJournal journal(tmp / "absent.jsonl");
+  std::vector<JournalEntry> entries{{}};
+  std::string err;
+  ASSERT_TRUE(journal.load(&entries, &err)) << err;
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(FarmJournal, ToleratesTruncatedFinalLine) {
+  TempDir tmp;
+  FarmJournal journal(tmp / "journal.jsonl");
+  std::string err;
+  ASSERT_TRUE(journal.append({"aaaa", 0, true, 1, ""}, &err)) << err;
+  {  // simulate a crash mid-append: partial line, no trailing newline
+    std::ofstream out(journal.path(), std::ios::app | std::ios::binary);
+    out << "{\"key\": \"bb";
+  }
+  std::vector<JournalEntry> entries;
+  ASSERT_TRUE(journal.load(&entries, &err)) << err;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "aaaa");
+}
+
+TEST(FarmJournal, RejectsCorruptionBeforeTheEnd) {
+  TempDir tmp;
+  FarmJournal journal(tmp / "journal.jsonl");
+  write_file(journal.path(), "not json at all\n{\"key\": \"aaaa\"}\n");
+  std::vector<JournalEntry> entries;
+  std::string err;
+  EXPECT_FALSE(journal.load(&entries, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// driver vs shell stubs
+
+TEST(FarmDriver, RunsCellsAndWritesMergedTable) {
+  TempDir tmp;
+  FarmReport report;
+  std::string err;
+  const std::string out = tmp / "farm";
+  const CommandBuilder ok = shell_command(std::string("printf '%s' '") +
+                                          kStubResult + "' > \"$1\"");
+  ASSERT_TRUE(run_farm(stub_plan(3), "b1", out, quick_opts(), ok, &report, &err))
+      << err;
+  EXPECT_EQ(report.cells, 3u);
+  EXPECT_EQ(report.executed, 3u);
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.all_ok());
+  ASSERT_TRUE(report.merged_written);
+  const std::string merged = read_file(report.merged_path);
+  EXPECT_EQ(merged.substr(0, merged.find('\n')),
+            "cell,cell,completed,done,mean_us,p50_us,p99_us,max_us,"
+            "mean_slowdown,drops,trims,sim_ms,status");
+  EXPECT_NE(merged.find("0,0,2/2,yes,10,10,12,12,1.5,0,0,1,ok"), std::string::npos)
+      << merged;
+
+  // Same farm again: every cell is a cache hit, nothing executes, and the
+  // merged table is rewritten byte-identically.
+  FarmReport again;
+  ASSERT_TRUE(run_farm(stub_plan(3), "b1", out, quick_opts(), ok, &again, &err))
+      << err;
+  EXPECT_EQ(again.cache_hits, 3u);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(read_file(again.merged_path), merged);
+
+  // A different build id re-keys everything: no hits.
+  FarmReport rebuilt;
+  ASSERT_TRUE(run_farm(stub_plan(3), "b2", out, quick_opts(), ok, &rebuilt, &err))
+      << err;
+  EXPECT_EQ(rebuilt.cache_hits, 0u);
+  EXPECT_EQ(rebuilt.executed, 3u);
+}
+
+TEST(FarmDriver, CrashingCellIsRetriedThenIsolated) {
+  TempDir tmp;
+  // Cell 0 always exits 3; the others succeed. The farm must finish.
+  const CommandBuilder cmd = shell_command(
+      std::string("case \"$1\" in *cell0_*) exit 3;; esac; printf '%s' '") +
+      kStubResult + "' > \"$1\"");
+  FarmReport report;
+  std::string err;
+  ASSERT_TRUE(
+      run_farm(stub_plan(2), "b1", tmp / "farm", quick_opts(), cmd, &report, &err))
+      << err;
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.executed, 2u);
+  EXPECT_FALSE(report.all_ok());
+  const CellOutcome& bad = report.outcomes[0];
+  EXPECT_EQ(bad.status, CellOutcome::Status::kFailed);
+  EXPECT_EQ(bad.attempts, 2);  // 1 + retries
+  EXPECT_EQ(bad.error, "exit 3");
+  EXPECT_EQ(report.outcomes[1].status, CellOutcome::Status::kOk);
+  // A failed farm still writes the merged table, with the failure visible.
+  ASSERT_TRUE(report.merged_written);
+  EXPECT_NE(read_file(report.merged_path).find(",failed"), std::string::npos);
+
+  // Re-run: the journaled failure is not re-attempted.
+  FarmReport again;
+  ASSERT_TRUE(
+      run_farm(stub_plan(2), "b1", tmp / "farm", quick_opts(), cmd, &again, &err))
+      << err;
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.cache_hits, 1u);
+  EXPECT_EQ(again.failed, 1u);
+  EXPECT_TRUE(again.outcomes[0].from_journal);
+  EXPECT_EQ(again.outcomes[0].error, "exit 3");
+}
+
+TEST(FarmDriver, FlakyCellSucceedsOnRetry) {
+  TempDir tmp;
+  // First attempt leaves a marker and dies; the retry finds it and succeeds.
+  const std::string marker = tmp / "marker";
+  const CommandBuilder cmd = shell_command(
+      std::string("if [ -e \"") + marker + "\" ]; then printf '%s' '" + kStubResult +
+      "' > \"$1\"; else : > \"" + marker + "\"; exit 7; fi");
+  FarmReport report;
+  std::string err;
+  ASSERT_TRUE(
+      run_farm(stub_plan(1), "b1", tmp / "farm", quick_opts(), cmd, &report, &err))
+      << err;
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.outcomes[0].status, CellOutcome::Status::kOk);
+  EXPECT_EQ(report.outcomes[0].attempts, 2);
+}
+
+TEST(FarmDriver, HangingCellIsKilledOnTimeout) {
+  TempDir tmp;
+  FarmOptions opts = quick_opts();
+  opts.timeout_s = 0.2;
+  opts.retries = 0;
+  FarmReport report;
+  std::string err;
+  ASSERT_TRUE(run_farm(stub_plan(1), "b1", tmp / "farm", opts,
+                       shell_command("sleep 30"), &report, &err))
+      << err;
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_NE(report.outcomes[0].error.find("timeout"), std::string::npos)
+      << report.outcomes[0].error;
+}
+
+TEST(FarmDriver, EmptyResultIsAFailure) {
+  TempDir tmp;
+  FarmOptions opts = quick_opts();
+  opts.retries = 0;
+  FarmReport report;
+  std::string err;
+  // Exits 0 without writing anything: not a success.
+  ASSERT_TRUE(run_farm(stub_plan(1), "b1", tmp / "farm", opts,
+                       shell_command("exit 0"), &report, &err))
+      << err;
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_NE(report.outcomes[0].error.find("no result"), std::string::npos)
+      << report.outcomes[0].error;
+}
+
+TEST(FarmDriver, FreshDiscardsCacheAndJournal) {
+  TempDir tmp;
+  const CommandBuilder ok = shell_command(std::string("printf '%s' '") +
+                                          kStubResult + "' > \"$1\"");
+  FarmReport report;
+  std::string err;
+  ASSERT_TRUE(
+      run_farm(stub_plan(2), "b1", tmp / "farm", quick_opts(), ok, &report, &err))
+      << err;
+  FarmOptions opts = quick_opts();
+  opts.fresh = true;
+  ASSERT_TRUE(run_farm(stub_plan(2), "b1", tmp / "farm", opts, ok, &report, &err))
+      << err;
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.executed, 2u);
+}
+
+TEST(FarmDriver, StopAfterLeavesResumableStateAndNoMergedTable) {
+  TempDir tmp;
+  const CommandBuilder ok = shell_command(std::string("printf '%s' '") +
+                                          kStubResult + "' > \"$1\"");
+  FarmOptions opts = quick_opts();
+  opts.jobs = 1;
+  opts.stop_after = 2;
+  FarmReport report;
+  std::string err;
+  const std::string out = tmp / "farm";
+  ASSERT_TRUE(run_farm(stub_plan(4), "b1", out, opts, ok, &report, &err)) << err;
+  EXPECT_TRUE(report.stopped_early);
+  EXPECT_EQ(report.executed, 2u);
+  EXPECT_FALSE(report.merged_written);
+  EXPECT_FALSE(fs::exists(out + "/merged.csv"));
+
+  // Resume: only the remaining cells run, then the table appears.
+  FarmReport resumed;
+  ASSERT_TRUE(run_farm(stub_plan(4), "b1", out, quick_opts(), ok, &resumed, &err))
+      << err;
+  EXPECT_EQ(resumed.cache_hits, 2u);
+  EXPECT_EQ(resumed.executed, 2u);
+  EXPECT_TRUE(resumed.merged_written);
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end against the real uno_sim worker
+#ifdef UNO_SIM_PATH
+
+/// A tiny but real farm: 2 incast cells (or 4 with the wider spec below).
+const char* kItSpec =
+    "{\"name\": \"it\","
+    " \"base\": {\"scheme\": \"uno\", \"workload\": \"incast\", \"k\": 4,"
+    "            \"size-mb\": 0.25, \"deadline-ms\": 200},"
+    " \"dims\": {\"flows\": [2]}, \"seeds\": 2}";
+const char* kItSpecWider =
+    "{\"name\": \"it\","
+    " \"base\": {\"scheme\": \"uno\", \"workload\": \"incast\", \"k\": 4,"
+    "            \"size-mb\": 0.25, \"deadline-ms\": 200},"
+    " \"dims\": {\"flows\": [2, 4]}, \"seeds\": 2}";
+
+class FarmIntegrationTest : public ::testing::Test {
+ protected:
+  OptionSet opts_ = make_sim_options();
+
+  FarmPlan plan(const char* text) {
+    FarmSpec spec;
+    std::string err;
+    EXPECT_TRUE(FarmSpec::parse(text, opts_, &spec, &err)) << err;
+    return expand(spec);
+  }
+  FarmReport run(const FarmPlan& p, const std::string& out, int jobs,
+                 std::size_t stop_after = 0) {
+    FarmOptions o;
+    o.jobs = jobs;
+    o.timeout_s = 120;
+    o.retries = 0;
+    o.stop_after = stop_after;
+    FarmReport report;
+    std::string err;
+    EXPECT_TRUE(run_farm(p, "itest-build", out, o, sim_command(UNO_SIM_PATH),
+                         &report, &err))
+        << err;
+    return report;
+  }
+};
+
+TEST_F(FarmIntegrationTest, UnchangedSpecReRunExecutesNothing) {
+  TempDir tmp;
+  const FarmPlan p = plan(kItSpec);
+  const FarmReport first = run(p, tmp / "farm", 2);
+  EXPECT_EQ(first.executed, 2u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.failed, 0u);
+  ASSERT_TRUE(first.merged_written);
+  const std::string merged = read_file(first.merged_path);
+
+  const FarmReport second = run(p, tmp / "farm", 2);
+  EXPECT_EQ(second.executed, 0u);  // counters pinned: a re-run is free
+  EXPECT_EQ(second.cache_hits, 2u);
+  EXPECT_EQ(read_file(second.merged_path), merged);
+}
+
+TEST_F(FarmIntegrationTest, EditedDimensionReRunsOnlyAffectedCells) {
+  TempDir tmp;
+  run(plan(kItSpec), tmp / "farm", 2);
+  // Widening flows [2] -> [2, 4] adds 2 cells; the 2 existing ones hit.
+  const FarmReport widened = run(plan(kItSpecWider), tmp / "farm", 2);
+  EXPECT_EQ(widened.cells, 4u);
+  EXPECT_EQ(widened.cache_hits, 2u);
+  EXPECT_EQ(widened.executed, 2u);
+  EXPECT_EQ(widened.failed, 0u);
+}
+
+TEST_F(FarmIntegrationTest, InterruptedThenResumedMatchesFreshRunByteForByte) {
+  TempDir tmp;
+  const FarmPlan p = plan(kItSpecWider);
+  // Fresh, uninterrupted reference run.
+  const FarmReport fresh = run(p, tmp / "fresh", 2);
+  ASSERT_TRUE(fresh.merged_written);
+  const std::string reference = read_file(fresh.merged_path);
+
+  // Interrupted after 1 cell, resumed with a different worker count.
+  const FarmReport cut = run(p, tmp / "resumed", 1, /*stop_after=*/1);
+  EXPECT_TRUE(cut.stopped_early);
+  EXPECT_FALSE(cut.merged_written);
+  const FarmReport resumed = run(p, tmp / "resumed", 4);
+  EXPECT_FALSE(resumed.stopped_early);
+  EXPECT_EQ(resumed.cache_hits + resumed.executed, 4u);
+  ASSERT_TRUE(resumed.merged_written);
+  EXPECT_EQ(read_file(resumed.merged_path), reference);
+}
+
+TEST_F(FarmIntegrationTest, WorkerCountDoesNotChangeMergedOutput) {
+  TempDir tmp;
+  const FarmPlan p = plan(kItSpecWider);
+  const FarmReport serial = run(p, tmp / "j1", 1);
+  const FarmReport wide = run(p, tmp / "j8", 8);
+  ASSERT_TRUE(serial.merged_written);
+  ASSERT_TRUE(wide.merged_written);
+  EXPECT_EQ(read_file(serial.merged_path), read_file(wide.merged_path));
+}
+
+#endif  // UNO_SIM_PATH
+
+}  // namespace
+}  // namespace uno

@@ -18,19 +18,24 @@
 //   uno_sim --scheme uno --sweep load=0.1:0.8:15 --jobs 8
 //   uno_sim --scheme uno --workload incast --seeds 10 --jobs 4
 //
-// Every flag lives in one declarative OptionSet table (core/options.hpp):
-// --help is generated from it, unknown flags are rejected with a nearest-
-// match suggestion. Run with --help for the full list.
+// Every flag lives in one declarative OptionSet table shared with uno_farm
+// (core/sim_options.hpp): --help is generated from it, unknown flags are
+// rejected with a nearest-match suggestion. Run with --help for the full
+// list. `--one-cell FILE` is the farm-worker mode: run one configuration,
+// write the result as JSON, exit 0 once the result is written (see
+// tools/uno_farm.cpp).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/build_info.hpp"
 #include "core/experiment.hpp"
-#include "core/options.hpp"
 #include "core/parallel.hpp"
+#include "core/sim_options.hpp"
 #include "faults/plan.hpp"
+#include "farm/json.hpp"
 #include "obs/trace.hpp"
 #include "stats/resilience.hpp"
 #include "stats/summary.hpp"
@@ -40,63 +45,6 @@
 using namespace uno;
 
 namespace {
-
-OptionSet make_options() {
-  OptionSet opts("uno_sim", "run one simulation and print FCT statistics");
-  opts.begin_group("simulation");
-  opts.add_str("scheme", "uno", "NAME",
-               "uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
-               "swift+bbr | dctcp | unocc+rps | unocc+plb | unocc+reps");
-  opts.add_str("workload", "poisson", "NAME", "poisson | incast | permutation | replay");
-  opts.add_num("seed", 1, "N", "RNG seed");
-  opts.add_num("deadline-ms", 1000, "F", "simulation deadline");
-  opts.add_flag("queues", "also print the busiest queues");
-  opts.add_flag("help", "print this help and exit");
-
-  opts.begin_group("workload knobs");
-  opts.add_num("load", 0.4, "F", "Poisson offered load fraction");
-  opts.add_num("duration-ms", 5, "F", "Poisson arrival window");
-  opts.add_num("active-hosts", 64, "N", "Poisson participants (0 = all)");
-  opts.add_num("size-scale", 1.0 / 32.0, "F", "scale factor for Poisson CDFs");
-  opts.add_num("flows", 8, "N", "incast senders (half intra, half inter)");
-  opts.add_num("size-mb", 8, "F", "flow size for incast/permutation");
-  opts.add_str("replay", "", "FILE", "replay workload: CSV of src,dst,bytes,start_us");
-
-  opts.begin_group("topology");
-  opts.add_num("k", 8, "N", "fat-tree arity per DC");
-  opts.add_num("dcs", 2, "N", "datacenters (full border mesh)");
-  opts.add_num("cross-links", 8, "N", "WAN links between the borders");
-  opts.add_num("rtt-ratio", 143, "N", "inter/intra RTT ratio (default => 2 ms)");
-
-  opts.begin_group("faults");
-  opts.add_num("fail-links", 0, "N", "border links to fail at t=0");
-  opts.add_str("fault", "", "SPEC",
-               "fault plan: ';'-separated clauses, e.g.\n"
-               "\"2ms down border:0\" or\n"
-               "\"1ms flap border:1 period=500us duty=0.5\"\n"
-               "kinds: down|up|flap|latency|loss|ecn-stuck;\n"
-               "targets: border:N | border:* | name glob");
-  opts.add_num("fault-sample-us", 250, "F", "resilience goodput sample period");
-  opts.add_num("loss-scale", 0, "F", "Table-1 burst loss amplification");
-
-  opts.begin_group("observability");
-  opts.add_str("trace", "", "FILE",
-               "write a Chrome trace_event JSON flight recording\n"
-               "(load in Perfetto / chrome://tracing)");
-  opts.add_str("trace-categories", "all", "LIST",
-               "comma-separated: queue,cc,lb,rc,fault (or \"all\")");
-  opts.add_num("trace-ring", 1 << 10, "N", "per-component trace ring capacity");
-  opts.add_num("trace-depth-us", 4, "F", "queue-depth sample period in simulated us");
-  opts.add_str("metrics", "", "FILE", "write end-of-run scalar metrics as JSON");
-
-  opts.begin_group("batch mode (merged summary table instead of the full report)");
-  opts.add_num("seeds", 1, "N", "run seeds seed..seed+N-1");
-  opts.add_str("sweep", "", "KEY=LO:HI:N",
-               "N evenly spaced points over KEY;\n"
-               "keys: load | rtt-ratio | size-mb | flows");
-  opts.add_num("jobs", 1, "N", "worker threads for the batch (0 = one per core)");
-  return opts;
-}
 
 SchemeSpec parse_scheme(const std::string& name, bool* ok) {
   *ok = true;
@@ -169,43 +117,6 @@ RunParams base_params(const OptionSet& opts) {
                    static_cast<int>(opts.num("flows"))};
 }
 
-/// --sweep KEY=LO:HI:N over one RunParams dimension.
-struct Sweep {
-  bool active = false;
-  std::string key;
-  double lo = 0, hi = 0;
-  int n = 0;
-
-  double value(int i) const {
-    return n <= 1 ? lo : lo + (hi - lo) * static_cast<double>(i) / (n - 1);
-  }
-};
-
-bool parse_sweep(const std::string& spec, Sweep* out, std::string* err) {
-  const auto eq = spec.find('=');
-  if (eq == std::string::npos) {
-    *err = "expected KEY=LO:HI:N";
-    return false;
-  }
-  out->key = spec.substr(0, eq);
-  if (out->key != "load" && out->key != "rtt-ratio" && out->key != "size-mb" &&
-      out->key != "flows") {
-    *err = "unknown sweep key: " + out->key;
-    return false;
-  }
-  double lo = 0, hi = 0;
-  int n = 0;
-  if (std::sscanf(spec.c_str() + eq + 1, "%lf:%lf:%d", &lo, &hi, &n) != 3 || n < 1) {
-    *err = "expected KEY=LO:HI:N with N >= 1";
-    return false;
-  }
-  out->lo = lo;
-  out->hi = hi;
-  out->n = n;
-  out->active = true;
-  return true;
-}
-
 void apply_sweep_value(const Sweep& sw, double v, RunParams* rp) {
   if (sw.key == "load") rp->load = v;
   if (sw.key == "rtt-ratio") rp->rtt_ratio = v;
@@ -222,6 +133,8 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   cfg.uno.fattree_k = static_cast<int>(opts.num("k"));
   cfg.uno.num_dcs = static_cast<int>(opts.num("dcs"));
   cfg.uno.cross_links = static_cast<int>(opts.num("cross-links"));
+  cfg.uno.ec_data = static_cast<int>(opts.num("ec-data"));
+  cfg.uno.ec_parity = static_cast<int>(opts.num("ec-parity"));
   if (rp.rtt_ratio > 0)
     cfg.uno.inter_rtt =
         static_cast<Time>(rp.rtt_ratio * static_cast<double>(cfg.uno.intra_rtt));
@@ -302,7 +215,7 @@ struct RunRow {
   std::string label;
   std::size_t spawned = 0, completed = 0;
   bool done = false;
-  FctSummary all;
+  FctSummary all, intra, inter;
   std::uint64_t drops = 0, trims = 0;
   double sim_ms = 0;
   std::string error;
@@ -325,6 +238,8 @@ RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faul
   row.spawned = ex.flows_spawned();
   row.completed = ex.flows_completed();
   row.all = ex.fct().summarize();
+  row.intra = ex.fct().summarize(FctCollector::Class::kIntra);
+  row.inter = ex.fct().summarize(FctCollector::Class::kInter);
   row.drops = ex.topo().total_drops();
   row.trims = ex.topo().total_trims();
   row.sim_ms = to_milliseconds(ex.eq().now());
@@ -334,6 +249,54 @@ RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faul
       obs.metrics_file.empty() ? std::string{} : indexed_path(obs.metrics_file, index);
   export_obs(ex, trace_file, metrics_file, &row.error);
   return row;
+}
+
+std::string fct_json(const FctSummary& s) {
+  return "{\"count\": " + std::to_string(s.count) +
+         ", \"mean_us\": " + json_number(s.mean_us) +
+         ", \"p50_us\": " + json_number(s.p50_us) +
+         ", \"p99_us\": " + json_number(s.p99_us) +
+         ", \"max_us\": " + json_number(s.max_us) +
+         ", \"mean_slowdown\": " + json_number(s.mean_slowdown) +
+         ", \"p99_slowdown\": " + json_number(s.p99_slowdown) + "}";
+}
+
+/// Farm-worker mode: run the single configured simulation and write a
+/// machine-readable result. Exit-code contract (what uno_farm keys off):
+/// 0 = result written (a deadline miss is still a result, done=false),
+/// 2 = configuration error; any other exit means the worker died and the
+/// attempt should be retried.
+int run_one_cell(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& obs,
+                 const std::string& out_path) {
+  const RunParams base = base_params(opts);
+  RunRow row = run_one(opts, base, faults, obs, 0, "cell");
+  if (!row.error.empty()) {
+    std::fprintf(stderr, "%s\n", row.error.c_str());
+    return 2;
+  }
+  std::string json = "{\"schema\": \"uno-cell-v1\"";
+  json += ",\n \"build\": " + json_quote(build_info_string());
+  json += ",\n \"done\": " + std::string(row.done ? "true" : "false");
+  json += ",\n \"flows_spawned\": " + std::to_string(row.spawned);
+  json += ",\n \"flows_completed\": " + std::to_string(row.completed);
+  json += ",\n \"sim_ms\": " + json_number(row.sim_ms);
+  json += ",\n \"drops\": " + std::to_string(row.drops);
+  json += ",\n \"trims\": " + std::to_string(row.trims);
+  json += ",\n \"fct\": " + fct_json(row.all);
+  json += ",\n \"fct_intra\": " + fct_json(row.intra);
+  json += ",\n \"fct_inter\": " + fct_json(row.inter);
+  json += "}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write cell result: %s\n", out_path.c_str());
+    return 2;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "short write to cell result: %s\n", out_path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 int run_batch(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& obs,
@@ -401,7 +364,7 @@ int run_batch(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& 
 }  // namespace
 
 int main(int argc, char** argv) {
-  OptionSet opts = make_options();
+  OptionSet opts = make_sim_options();
   std::string err;
   if (!opts.parse(argc, argv, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -409,6 +372,17 @@ int main(int argc, char** argv) {
   }
   if (opts.flag("help")) {
     std::fputs(opts.help_text().c_str(), stdout);
+    return 0;
+  }
+  if (opts.flag("version")) {
+    // First line is the canonical build id (what the farm hashes into every
+    // cell's cache key); the rest is for humans.
+    const BuildInfo& b = build_info();
+    std::printf("%s\n", build_info_string().c_str());
+    std::printf("  git:       %s\n  compiler:  %s\n  type:      %s\n", b.git.c_str(),
+                b.compiler.c_str(), b.build_type.c_str());
+    std::printf("  simd:      %s\n  trace:     %s\n  sanitize:  %s\n", b.simd.c_str(),
+                b.trace.c_str(), b.sanitize.empty() ? "none" : b.sanitize.c_str());
     return 0;
   }
 
@@ -445,6 +419,14 @@ int main(int argc, char** argv) {
     }
   }
   const int nseeds = std::max(1, static_cast<int>(opts.num("seeds")));
+  if (opts.has("one-cell")) {
+    if (sweep.active || nseeds > 1) {
+      std::fprintf(stderr, "--one-cell runs exactly one configuration; "
+                           "drop --sweep/--seeds (the farm expands grids)\n");
+      return 2;
+    }
+    return run_one_cell(opts, faults, obs, opts.str("one-cell"));
+  }
   if (sweep.active || nseeds > 1)
     return run_batch(opts, faults, obs, sweep, nseeds,
                      static_cast<int>(opts.num("jobs")));

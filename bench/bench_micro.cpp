@@ -92,7 +92,7 @@ BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(1024);
 
 class NullSink : public PacketSink {
  public:
-  void receive(Packet) override { ++count; }
+  void receive(Packet&&) override { ++count; }
   const std::string& name() const override { return name_; }
   std::uint64_t count = 0;
 

@@ -211,6 +211,22 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
   m.set_counter("fabric.drops", topo_->total_drops());
   m.set_counter("fabric.trims", topo_->total_trims());
 
+  // Timer-subsystem accounting: where scheduler time goes (DESIGN.md §13).
+  // wheel.* shows how much timer traffic bypassed the near-heap; cascaded /
+  // slot_drains bound the amortized re-filing cost; stale.noted vs
+  // compacted shows how hard lazy cancellation leaned on compaction.
+  m.set_counter("sim.peak_pending", eq_.peak_pending());
+  m.set_counter("sim.wheel.inserts", eq_.wheel_inserts());
+  m.set_counter("sim.wheel.cascades", eq_.wheel_cascades());
+  m.set_counter("sim.wheel.cascaded_entries", eq_.wheel_cascaded_entries());
+  m.set_counter("sim.wheel.slot_drains", eq_.wheel_slot_drains());
+  m.set_counter("sim.wheel.overflow_inserts", eq_.wheel_overflow_inserts());
+  m.set_counter("sim.wheel.overflow_jumps", eq_.wheel_overflow_jumps());
+  m.set_counter("sim.stale.noted", eq_.stale_noted());
+  m.set_counter("sim.compactions", eq_.compactions());
+  m.set_counter("sim.compacted_entries", eq_.compacted_entries());
+  m.set_counter("sim.clamped_schedules", eq_.clamped_schedules());
+
   std::uint64_t forwarded = 0, ecn_marked = 0;
   for (const Queue* q : topo_->all_queues()) {
     forwarded += q->forwarded();
@@ -218,6 +234,16 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
   }
   m.set_counter("fabric.forwarded", forwarded);
   m.set_counter("fabric.ecn_marked", ecn_marked);
+
+  // Batched link delivery (net/link.cpp): how many arrivals rode along in
+  // another packet's event. delivered - coalesced = delivery events fired.
+  std::uint64_t delivered = 0, coalesced = 0;
+  for (const Link* l : topo_->all_links()) {
+    delivered += l->delivered();
+    coalesced += l->coalesced_deliveries();
+  }
+  m.set_counter("fabric.link.delivered", delivered);
+  m.set_counter("fabric.link.coalesced_deliveries", coalesced);
 
   std::uint64_t pkts = 0, rtx = 0, nacks = 0, fec_masked = 0, bytes = 0;
   for (const FlowResult& r : fct_.results()) {

@@ -61,7 +61,7 @@ class Host final : public PacketSink {
     }
   }
 
-  void receive(Packet p) override {
+  void receive(Packet&& p) override {
     // Hot path: open-addressing flat table, one multiply-shift hash and (at
     // load factor <= 0.75) a probe of ~1 contiguous slot. Stays O(1) whether
     // the host serves two flows or two thousand.

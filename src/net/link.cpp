@@ -2,7 +2,7 @@
 
 namespace uno {
 
-void Link::receive(Packet p) {
+void Link::receive(Packet&& p) {
   if (!up_ || (loss_ && loss_->should_drop(eq_.now()))) {
     ++dropped_;
     return;  // the transport's RTO / EC layer recovers the loss
@@ -27,18 +27,34 @@ void Link::on_event(std::uint64_t) {
   // A link-down flush can orphan delivery events: fire with nothing in
   // flight, or before the (later-arriving) new head is actually due.
   if (inflight_.empty() || inflight_.front().due > eq_.now()) return;
-  // Latency is constant, so the head is always the packet due now. Forward
-  // straight out of the ring slot (one move, not two); the slot stays until
-  // the pop below, which also means a synchronous push during forward() sees
-  // size >= 2 and never double-schedules the delivery event.
-  ++delivered_;
-  // On long-latency links the ring spans a full BDP, so the head slot was
-  // written one `latency_` ago and is cold; start pulling the *next* head in
-  // while this delivery's forward chain executes.
-  __builtin_prefetch(&inflight_[1]);
-  forward(std::move(inflight_.front().p));
-  inflight_.pop_front();
-  if (!inflight_.empty()) eq_.schedule_at(inflight_.front().due, this);
+  // Drain every packet sharing this arrival instant in one event: one
+  // schedule_at per *distinct* due instead of one per packet. Behind a
+  // serializing Queue consecutive dues are distinct, but fan-in links fed by
+  // multiple sources (or bursts crossing a latency change) arrive in shared
+  // instants and coalesce here. Strictly-equal dues only — a head that is
+  // *overdue* (its due passed while an earlier head was still scheduled)
+  // re-schedules exactly like the one-event-per-packet path did, so dispatch
+  // interleaving at a timestamp is unchanged and results stay bit-identical.
+  const Time now = eq_.now();
+  for (;;) {
+    ++delivered_;
+    // On long-latency links the ring spans a full BDP, so the head slot was
+    // written one `latency_` ago and is cold; start pulling the *next* head
+    // in while this delivery's forward chain executes (both cache lines — a
+    // 96-byte InFlight straddles two). Forward straight out of the ring
+    // slot (one move, not two); the slot stays until the pop below, which
+    // also means a synchronous push during forward() sees size >= 2 and
+    // never double-schedules the delivery event.
+    const char* next_slot = reinterpret_cast<const char*>(&inflight_[1]);
+    __builtin_prefetch(next_slot);
+    __builtin_prefetch(next_slot + 64);
+    forward(std::move(inflight_.front().p));
+    inflight_.pop_front();
+    if (inflight_.empty()) return;
+    if (inflight_.front().due != now) break;
+    ++coalesced_;
+  }
+  eq_.schedule_at(inflight_.front().due, this);
 }
 
 }  // namespace uno

@@ -22,7 +22,7 @@ class Link final : public PacketSink, public EventHandler {
   Link(EventQueue& eq, std::string name, Time latency)
       : eq_(eq), name_(std::move(name)), latency_(latency) {}
 
-  void receive(Packet p) override;
+  void receive(Packet&& p) override;
   void on_event(std::uint64_t tag) override;
 
   const std::string& name() const override { return name_; }
@@ -48,6 +48,9 @@ class Link final : public PacketSink, public EventHandler {
 
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// Deliveries that rode along in another packet's event because they
+  /// shared its arrival instant (see the drain loop in on_event).
+  std::uint64_t coalesced_deliveries() const { return coalesced_; }
 
  private:
   EventQueue& eq_;
@@ -62,6 +65,7 @@ class Link final : public PacketSink, public EventHandler {
   PodRing<InFlight> inflight_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t coalesced_ = 0;
 };
 
 }  // namespace uno

@@ -20,7 +20,7 @@ struct Packet;
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void receive(Packet p) = 0;
+  virtual void receive(Packet&& p) = 0;
   /// Human-readable name for traces and assertions.
   virtual const std::string& name() const = 0;
 };

@@ -51,7 +51,7 @@ bool Queue::should_mark(std::int64_t occupancy_after, Time now, bool* phantom_so
   return p > 0.0 && rng_.chance(p);
 }
 
-void Queue::receive(Packet p) {
+void Queue::receive(Packet&& p) {
   const Time now = eq_.now();
   const bool is_data = p.type == PacketType::kData && !p.trimmed;
 

@@ -74,7 +74,7 @@ class Queue final : public PacketSink, public EventHandler {
  public:
   Queue(EventQueue& eq, std::string name, const QueueConfig& cfg, Rng rng = Rng(7));
 
-  void receive(Packet p) override;
+  void receive(Packet&& p) override;
   void on_event(std::uint64_t tag) override;
 
   const std::string& name() const override { return name_; }

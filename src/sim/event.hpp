@@ -4,17 +4,21 @@
 // themselves with an integer tag; no per-event allocation happens. Ties in
 // time are broken by insertion order so the simulation is deterministic.
 //
-// Hot-path design (see DESIGN.md §9):
+// Hot-path design (see DESIGN.md §9 and §13):
 //  * Liveness is a generation-slot registry, not a weak_ptr: each handler is
 //    lazily assigned a small slot id on first schedule, each heap entry
 //    carries {slot, generation}, and dispatch validates with two plain loads
 //    (generation compare + handler pointer) — no atomics, no allocation.
 //  * The heap is an inline 4-ary array heap of 32-byte POD entries: shallower
-//    than a binary heap and one cache line per sift level.
+//    than a binary heap and one cache line per sift level — but it holds only
+//    the *current 65 ns quantum*. Everything later is parked in a
+//    hierarchical timing wheel (sim/wheel.hpp) with O(1) schedule, and flows
+//    back into the heap one quantum at a time, so long-RTT timer churn never
+//    inflates the sift depth of near-term events.
 //  * Cancelled/superseded Timer deadlines go stale in place (O(1)); the
-//    queue counts them and compacts the heap when stale entries reach half
-//    of it, so rearm/cancel storms (retransmit timers under link flaps)
-//    cannot grow the heap without bound.
+//    queue counts them and compacts heap + wheel when stale entries reach
+//    half of the pending set, so rearm/cancel storms (retransmit timers
+//    under link flaps) cannot grow the pending set without bound.
 #pragma once
 
 #include <cassert>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/wheel.hpp"
 
 namespace uno {
 
@@ -122,10 +127,20 @@ class EventQueue {
     }
     if (handler->registry_.get() != registry_.get()) bind(handler);
     const std::uint32_t slot = handler->slot_;
-    heap_.push_back(
-        Entry{make_key(t, next_seq_++), tag, slot, registry_->slots[slot].generation});
-    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
-    sift_up(heap_.size() - 1);
+    const Entry e{make_key(t, next_seq_++), tag, slot,
+                  registry_->slots[slot].generation};
+    // Route by quantum: the heap holds only the wheel cursor's quantum (and
+    // earlier stragglers — always safe, the heap is a full priority queue);
+    // strictly later quanta park in the wheel in O(1).
+    const std::uint64_t q = static_cast<std::uint64_t>(t) >> kQuantumShift;
+    if (q <= wheel_.cur()) {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    } else {
+      wheel_.insert(q, e);
+    }
+    const std::size_t p = heap_.size() + wheel_.size();
+    if (p > peak_pending_) peak_pending_ = p;
   }
 
   /// Schedule after a relative delay.
@@ -140,18 +155,19 @@ class EventQueue {
   /// Run until the queue drains completely.
   std::uint64_t run_all() { return run_until(kTimeInfinity); }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && wheel_.empty(); }
+  std::size_t pending() const { return heap_.size() + wheel_.size(); }
   std::size_t peak_pending() const { return peak_pending_; }
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// Stale-entry accounting, used by Timer: each cancel/rearm that strands a
-  /// pending heap entry calls note_stale(); popping such an entry calls
-  /// note_stale_consumed(). When stale entries reach half the heap the queue
-  /// compacts, dropping dead-slot entries and entries whose handler reports
-  /// event_stale().
+  /// pending entry calls note_stale(); popping such an entry calls
+  /// note_stale_consumed(). When stale entries reach half the pending set
+  /// (heap + wheel) the queue compacts, dropping dead-slot entries and
+  /// entries whose handler reports event_stale().
   void note_stale() {
     ++stale_hint_;
+    ++stale_noted_;
     maybe_compact();
   }
   void note_stale_consumed() {
@@ -163,6 +179,19 @@ class EventQueue {
   std::uint64_t compacted_entries() const { return compacted_; }
   std::uint64_t clamped_schedules() const { return clamped_; }
   std::size_t stale_hint() const { return stale_hint_; }
+  std::uint64_t stale_noted() const { return stale_noted_; }
+
+  /// Timing-wheel counters (see sim/wheel.hpp).
+  std::size_t wheel_pending() const { return wheel_.size(); }
+  std::uint64_t wheel_inserts() const { return wheel_.inserts(); }
+  std::uint64_t wheel_cascades() const { return wheel_.cascades(); }
+  std::uint64_t wheel_cascaded_entries() const { return wheel_.cascaded_entries(); }
+  std::uint64_t wheel_slot_drains() const { return wheel_.slot_drains(); }
+  std::uint64_t wheel_overflow_inserts() const { return wheel_.overflow_inserts(); }
+  std::uint64_t wheel_overflow_jumps() const { return wheel_.overflow_jumps(); }
+
+  /// Wheel quantum: 2^16 ps ≈ 65.5 ns per level-0 slot.
+  static constexpr int kQuantumShift = 16;
 
  private:
   /// 32-byte POD heap entry. The heap key packs (time, insertion seq) into
@@ -240,19 +269,32 @@ class EventQueue {
   }
 
   void maybe_compact() {
-    if (heap_.size() >= kCompactMinSize && stale_hint_ * 2 >= heap_.size()) compact();
+    const std::size_t total = heap_.size() + wheel_.size();
+    if (total >= kCompactMinSize && stale_hint_ * 2 >= total) compact();
   }
   void compact();
 
+  /// Advance the wheel cursor to the next occupied quantum and move its
+  /// entries into the heap. Returns false iff the wheel is empty.
+  bool refill_from_wheel();
+
   static constexpr std::size_t kCompactMinSize = 64;
+
+  struct EntryQuantum {
+    std::uint64_t operator()(const Entry& e) const {
+      return static_cast<std::uint64_t>(e.key >> 64) >> kQuantumShift;
+    }
+  };
 
   std::shared_ptr<detail::HandlerRegistry> registry_;
   std::vector<Entry> heap_;
+  TimingWheel<Entry, EntryQuantum> wheel_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t peak_pending_ = 0;
   std::size_t stale_hint_ = 0;
+  std::uint64_t stale_noted_ = 0;
   std::uint64_t compactions_ = 0;
   std::uint64_t compacted_ = 0;
   std::uint64_t clamped_ = 0;

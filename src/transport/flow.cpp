@@ -24,9 +24,7 @@ FlowSender::FlowSender(EventQueue& eq, const FlowParams& params, const PathSet* 
       rto_timer_(eq, this, kTagRto) {
   assert(paths_ != nullptr && !paths_->empty());
   assert(cc_ != nullptr && lb_ != nullptr);
-  state_.assign(frame_.total_packets(), PktState::kUnsent);
-  entropy_of_.assign(frame_.total_packets(), 0);
-  sent_time_of_.assign(frame_.total_packets(), -1);
+  meta_.assign(frame_.total_packets(), PktMeta{});
   if (params_.verify_payload && frame_.ec_enabled())
     payload_store_ = std::make_unique<PayloadStore>(params_.id, frame_,
                                                     params_.payload_shard_bytes);
@@ -64,7 +62,7 @@ std::int64_t FlowSender::next_seq_to_send() {
   // Retransmissions take priority over first transmissions.
   while (!rtx_queue_.empty()) {
     const std::uint64_t seq = rtx_queue_.front();
-    if (state_[seq] != PktState::kLost ||
+    if (meta_[seq].state != PktState::kLost ||
         (frame_.ec_enabled() && frame_.block_complete(frame_.shard_of(seq).block))) {
       rtx_queue_.pop_front();  // acked meanwhile, or its block became decodable
       continue;
@@ -102,7 +100,7 @@ void FlowSender::try_send() {
       next_send_time_ = std::max(now, next_send_time_) +
                         static_cast<Time>(static_cast<double>(size) * kSecond / rate);
     }
-    const bool rtx = state_[seq] == PktState::kLost;
+    const bool rtx = meta_[seq].state == PktState::kLost;
     if (rtx)
       rtx_queue_.pop_front();
     else
@@ -128,9 +126,7 @@ bool FlowSender::send_packet(std::uint64_t seq, bool is_retransmit) {
   p.route = &paths_->forward[entropy];
   p.hop = 0;
 
-  state_[seq] = PktState::kInflight;
-  entropy_of_[seq] = entropy;
-  sent_time_of_[seq] = eq_.now();
+  meta_[seq] = PktMeta{eq_.now(), entropy, PktState::kInflight};
   send_order_.emplace_back(eq_.now(), seq);
   bytes_in_flight_ += shard.size;
   bytes_sent_ += shard.size;
@@ -148,7 +144,7 @@ bool FlowSender::send_packet(std::uint64_t seq, bool is_retransmit) {
   return true;
 }
 
-void FlowSender::receive(Packet p) {
+void FlowSender::receive(Packet&& p) {
   if (p.type == PacketType::kAck)
     handle_ack(p);
   else if (p.type == PacketType::kNack)
@@ -166,9 +162,9 @@ void FlowSender::handle_trim_nack(const Packet& nack) {
   assert(seq < frame_.total_packets());
   // Only authoritative for the transmission it refers to: if the shard was
   // meanwhile acked, declared lost, or retransmitted, ignore the stale trim.
-  if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != nack.echo_sent_time)
+  if (meta_[seq].state != PktState::kInflight || meta_[seq].sent != nack.echo_sent_time)
     return;
-  state_[seq] = PktState::kLost;
+  meta_[seq].state = PktState::kLost;
   bytes_in_flight_ -= frame_.shard_of(seq).size;
   rtx_queue_.push_back(seq);
   signal_loss_to_cc();
@@ -181,9 +177,10 @@ void FlowSender::handle_ack(const Packet& ack) {
   assert(seq < frame_.total_packets());
   lb_->on_ack(ack.entropy, ack.ecn_echo, eq_.now());
 
-  if (state_[seq] == PktState::kAcked) return;  // duplicate delivery
-  if (state_[seq] == PktState::kInflight) bytes_in_flight_ -= frame_.shard_of(seq).size;
-  state_[seq] = PktState::kAcked;
+  PktMeta& m = meta_[seq];
+  if (m.state == PktState::kAcked) return;  // duplicate delivery
+  if (m.state == PktState::kInflight) bytes_in_flight_ -= frame_.shard_of(seq).size;
+  m.state = PktState::kAcked;
   const std::uint32_t size = frame_.shard_of(seq).size;
   acked_bytes_ += size;
   last_progress_ = eq_.now();
@@ -209,7 +206,7 @@ void FlowSender::handle_ack(const Packet& ack) {
 Time FlowSender::oldest_inflight_sent() {
   while (!send_order_.empty()) {
     const auto [sent, seq] = send_order_.front();
-    if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != sent) {
+    if (meta_[seq].state != PktState::kInflight || meta_[seq].sent != sent) {
       send_order_.pop_front();
       continue;
     }
@@ -225,7 +222,7 @@ void FlowSender::detect_losses() {
   bool lost_any = false;
   while (!send_order_.empty()) {
     const auto [sent, seq] = send_order_.front();
-    if (state_[seq] != PktState::kInflight || sent_time_of_[seq] != sent) {
+    if (meta_[seq].state != PktState::kInflight || meta_[seq].sent != sent) {
       send_order_.pop_front();  // acked, already queued for rtx, or resent
       continue;
     }
@@ -233,7 +230,7 @@ void FlowSender::detect_losses() {
     const bool expired = sent + expiry <= now;
     if (!rack_lost && !expired) break;  // still plausibly in flight
     send_order_.pop_front();
-    state_[seq] = PktState::kLost;
+    meta_[seq].state = PktState::kLost;
     bytes_in_flight_ -= frame_.shard_of(seq).size;
     rtx_queue_.push_back(seq);
     if (!lost_any) {
@@ -241,7 +238,7 @@ void FlowSender::detect_losses() {
       // path it died on. UnoLB treats it like a NACK (rate-limited reroute
       // away from failed links even when EC/NACKs are off); PLB and RPS
       // ignore loss hints by design.
-      lb_->on_nack(entropy_of_[seq], now);
+      lb_->on_nack(meta_[seq].entropy, now);
     }
     lost_any = true;
   }
@@ -273,13 +270,13 @@ void FlowSender::handle_nack(const Packet& nack) {
   bool blamed = false;
   std::uint64_t requeued = 0;
   for (std::uint64_t seq = first; seq < end; ++seq) {
-    if (state_[seq] == PktState::kInflight && sent_time_of_[seq] <= stale_before) {
-      state_[seq] = PktState::kLost;
+    if (meta_[seq].state == PktState::kInflight && meta_[seq].sent <= stale_before) {
+      meta_[seq].state = PktState::kLost;
       bytes_in_flight_ -= frame_.shard_of(seq).size;
       rtx_queue_.push_back(seq);
       ++requeued;
       if (!blamed) {
-        lb_->on_nack(entropy_of_[seq], eq_.now());
+        lb_->on_nack(meta_[seq].entropy, eq_.now());
         blamed = true;
       }
     }
@@ -313,8 +310,8 @@ void FlowSender::on_rto() {
     // Everything outstanding is presumed lost (selective-repeat recovery:
     // any shard acked in the meantime is skipped when the queue drains).
     for (std::uint64_t seq = 0; seq < frame_.total_packets(); ++seq) {
-      if (state_[seq] == PktState::kInflight) {
-        state_[seq] = PktState::kLost;
+      if (meta_[seq].state == PktState::kInflight) {
+        meta_[seq].state = PktState::kLost;
         rtx_queue_.push_back(seq);
       }
     }
@@ -342,8 +339,8 @@ void FlowSender::complete() {
   rto_timer_.cancel();
   // Shards still in kLost were never retransmitted, yet every block is
   // decodable: parity masked those losses.
-  for (const PktState s : state_)
-    if (s == PktState::kLost) ++fec_masked_;
+  for (const PktMeta& m : meta_)
+    if (m.state == PktState::kLost) ++fec_masked_;
   if (fec_masked_ > 0)
     UNO_TRACE_EVENT(trace_, TraceKind::kFecMasked, eq_.now(), fec_masked_,
                     frame_.total_packets());
@@ -382,7 +379,7 @@ FlowReceiver::FlowReceiver(EventQueue& eq, const FlowParams& params, const PathS
                                                   params_.payload_shard_bytes);
 }
 
-void FlowReceiver::receive(Packet p) {
+void FlowReceiver::receive(Packet&& p) {
   if (p.type != PacketType::kData) return;  // miswired route
   if (p.trimmed) {
     // Payload was discarded in-network; tell the sender which transmission

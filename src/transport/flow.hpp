@@ -14,13 +14,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/bitmap.hpp"
+#include "core/ring.hpp"
 #include "fec/block.hpp"
 #include "fec/payload.hpp"
 #include "lb/loadbalancer.hpp"
@@ -109,7 +109,7 @@ class FlowReceiver final : public PacketSink, public EventHandler {
  public:
   FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths);
 
-  void receive(Packet p) override;
+  void receive(Packet&& p) override;
   void on_event(std::uint64_t tag) override;
   const std::string& name() const override { return name_; }
 
@@ -174,7 +174,7 @@ class FlowSender final : public PacketSink, public EventHandler {
   /// Schedule the flow's first transmission at params.start_time.
   void start();
 
-  void receive(Packet p) override;  // ACKs and NACKs arrive here
+  void receive(Packet&& p) override;  // ACKs and NACKs arrive here
   void on_event(std::uint64_t tag) override;
   const std::string& name() const override { return name_; }
 
@@ -237,14 +237,24 @@ class FlowSender final : public PacketSink, public EventHandler {
 
   BlockFrame frame_;
   std::unique_ptr<PayloadStore> payload_store_;  // only with verify_payload
-  std::vector<PktState> state_;
-  std::vector<std::uint16_t> entropy_of_;  // path each seq was last sent on
-  std::vector<Time> sent_time_of_;  // last transmission time per seq
-  std::deque<std::uint64_t> rtx_queue_;
-  /// Every transmission in time order as (send time, seq). An entry is
-  /// authoritative only while sent_time_of_[seq] still equals its timestamp
+  /// Per-seq transmission record, packed into 16 bytes so the per-ACK path
+  /// (state check, send-time compare, path blame) touches one cache line
+  /// instead of three parallel arrays.
+  struct PktMeta {
+    Time sent = -1;             // last transmission time (-1 = never sent)
+    std::uint16_t entropy = 0;  // path the seq was last sent on
+    PktState state = PktState::kUnsent;
+  };
+  std::vector<PktMeta> meta_;
+  PodRing<std::uint64_t> rtx_queue_;
+  /// One transmission in time order (see send_order_). An entry is
+  /// authoritative only while meta_[seq].sent still equals its timestamp
   /// (a retransmission supersedes earlier entries for the same seq).
-  std::deque<std::pair<Time, std::uint64_t>> send_order_;
+  struct SendRec {
+    Time sent;
+    std::uint64_t seq;
+  };
+  PodRing<SendRec> send_order_;
   Time highest_acked_sent_ = -1;     // newest send time seen in an ACK
   Time last_fast_loss_signal_ = -1;  // rate-limits CC loss signals
   Time last_progress_ = -1;          // last new ACK (RTO escalates on silence)

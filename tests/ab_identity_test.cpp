@@ -1,0 +1,116 @@
+// A/B byte-identity guard for the event-core + net hot paths.
+//
+// The timing-wheel scheduler (sim/wheel.hpp) and batched link delivery
+// (net/link.cpp) are pure performance work: they must not perturb the
+// simulation at all. These tests pin two inter-DC scenarios — a scaled-down
+// perm_inter (the BENCH_PERF outlier) and a FEC-lossy WAN incast — to golden
+// numbers captured from the pre-wheel binary (heap-only scheduler, one event
+// per in-flight packet). Event counts are part of the golden: the wheel
+// dispatches the exact same entries in the exact same (time, seq) order, and
+// link-delivery coalescing only merges deliveries that share an arrival
+// timestamp, which never happens behind a serializing queue — so even the
+// total dispatch count is bit-for-bit reproducible.
+//
+// If a deliberate behavior change invalidates these numbers, regenerate with
+//   UNO_PRINT_GOLDEN=1 ./tests/ab_identity_test
+// and update the constants — but a perf-only PR must never need to.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "net/loss.hpp"
+#include "workload/traffic.hpp"
+
+namespace uno {
+namespace {
+
+struct RunDigest {
+  std::uint64_t events = 0;      // eq.dispatched()
+  Time sim_end = 0;              // eq.now() at completion
+  std::uint64_t fct_sum = 0;     // exact sum of per-flow FCTs (ps)
+  std::uint64_t fct_hash = 0;    // order-sensitive hash of the FCT sequence
+  std::uint64_t packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t fec_masked = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest digest_of(Experiment& ex) {
+  RunDigest d;
+  d.events = ex.eq().dispatched();
+  d.sim_end = ex.eq().now();
+  for (const FlowResult& r : ex.fct().results()) {
+    d.fct_sum += static_cast<std::uint64_t>(r.completion_time);
+    d.fct_hash = d.fct_hash * 1315423911ull + static_cast<std::uint64_t>(r.completion_time);
+    d.packets += r.packets_sent;
+    d.retransmits += r.retransmits;
+    d.nacks += r.nacks;
+    d.fec_masked += r.fec_masked;
+  }
+  return d;
+}
+
+void print_or_check(const char* name, const RunDigest& got, const RunDigest& want) {
+  if (std::getenv("UNO_PRINT_GOLDEN") != nullptr) {
+    std::printf(
+        "golden %s = {%lluull, %lld, %lluull, %lluull, %lluull, %lluull, %lluull, "
+        "%lluull};\n",
+        name, (unsigned long long)got.events, (long long)got.sim_end,
+        (unsigned long long)got.fct_sum, (unsigned long long)got.fct_hash,
+        (unsigned long long)got.packets, (unsigned long long)got.retransmits,
+        (unsigned long long)got.nacks, (unsigned long long)got.fec_masked);
+    return;
+  }
+  EXPECT_EQ(got.events, want.events) << name << ": event count drifted";
+  EXPECT_EQ(got.sim_end, want.sim_end) << name << ": final sim time drifted";
+  EXPECT_EQ(got.fct_sum, want.fct_sum) << name << ": FCT sum drifted";
+  EXPECT_EQ(got.fct_hash, want.fct_hash) << name << ": FCT order/values drifted";
+  EXPECT_EQ(got.packets, want.packets) << name;
+  EXPECT_EQ(got.retransmits, want.retransmits) << name;
+  EXPECT_EQ(got.nacks, want.nacks) << name;
+  EXPECT_EQ(got.fec_masked, want.fec_masked) << name;
+}
+
+/// Scaled-down perm_inter: the BENCH_PERF outlier scenario at k=4 — random
+/// inter/intra permutation, Uno scheme (EC framing + UnoLB + phantom marking
+/// on the WAN path), deep 2 ms windows.
+TEST(AbIdentity, PermInterGolden) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  ex.spawn_all(make_permutation(HostSpace{16, 2}, 128 * 1024, cfg.seed));
+  ASSERT_TRUE(ex.run_to_completion(20 * kSecond));
+
+  const RunDigest want{32460ull,         2240000000,           24811896640ull,
+                       7942669904361510592ull, 1120ull, 0ull, 0ull, 0ull};
+  print_or_check("perm_inter", digest_of(ex), want);
+}
+
+/// FEC-lossy inter-DC incast: 1% Bernoulli loss on every cross-DC link, so
+/// the run exercises block NACKs, retransmissions, parity-masked losses and
+/// the RTO/block-timer churn the wheel now carries.
+TEST(AbIdentity, FecLossyInterGolden) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  for (int d = 0; d < 2; ++d)
+    for (int j = 0; j < ex.topo().cross_link_count(); ++j)
+      ex.topo().cross_link(d, j).set_loss_model(
+          std::make_unique<BernoulliLoss>(0.01, Rng::stream(31, d * 8 + j)));
+  ex.spawn_all(make_incast(HostSpace{16, 2}, 0, 0, 8, 512 * 1024));
+  ASSERT_TRUE(ex.run_to_completion(20 * kSecond));
+
+  const RunDigest want{68325ull,         4256000000,           33505771520ull,
+                       9281974287617818624ull, 1916ull, 636ull, 59ull, 7ull};
+  print_or_check("fec_lossy_inter", digest_of(ex), want);
+}
+
+}  // namespace
+}  // namespace uno

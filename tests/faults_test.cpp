@@ -267,7 +267,7 @@ TEST(FaultInjector, EcnStuckSetsAndClearsForceMark) {
 struct CaptureSink final : PacketSink {
   std::string name_ = "capture";
   int received = 0;
-  void receive(Packet) override { ++received; }
+  void receive(Packet&&) override { ++received; }
   const std::string& name() const override { return name_; }
 };
 

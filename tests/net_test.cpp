@@ -17,7 +17,7 @@ namespace {
 class SinkRecorder : public PacketSink {
  public:
   explicit SinkRecorder(EventQueue& eq) : eq_(eq) {}
-  void receive(Packet p) override {
+  void receive(Packet&& p) override {
     arrivals.push_back({eq_.now(), std::move(p)});
   }
   const std::string& name() const override { return name_; }

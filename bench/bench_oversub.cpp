@@ -39,7 +39,7 @@ int main() {
       const auto inter = ex.fct().summarize(FctCollector::Class::kInter);
       t.add_row({scheme.name, Table::fmt(intra.mean_us, 1), Table::fmt(intra.p99_us, 1),
                  Table::fmt(inter.mean_us, 1), Table::fmt(inter.p99_us, 1),
-                 std::to_string(ex.qcn_dispatcher() ? ex.qcn_dispatcher()->delivered() : 0)});
+                 std::to_string(ex.qcn_delivered())});
     }
     char title[64];
     std::snprintf(title, sizeof(title), "oversubscription %.0f:1, 40%% load", oversub);

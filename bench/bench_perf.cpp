@@ -24,6 +24,11 @@
 //   fault_flap     incast under a flapping border link (retransmit-timer
 //                  storms; exercises stale-entry compaction)
 //   sweep          15-point load sweep, independent sims via parallel_for
+//   shards         ONE perm_inter run at --shards 1 vs 2 (conservative PDES
+//                  along the DC seam, DESIGN.md §14): asserts the two runs
+//                  are bit-identical and reports the wall-clock speedup.
+//                  Speedup needs >= 2 real cores; hw_threads is recorded so
+//                  a 1-core reading is never mistaken for a regression
 //   fec            (8,2) encode GB/s, scalar vs best SIMD kernel (headline
 //                  number only; bench_fec has the full kernel x size matrix)
 //   trace          mixed incast with the flight recorder off vs on (all
@@ -34,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -157,6 +163,74 @@ SweepResult run_sweep(bool quick, int jobs) {
   return r;
 }
 
+struct ShardScaleResult {
+  int shards = 0;            // effective shard count of the parallel run
+  unsigned hw_threads = 0;   // std::thread::hardware_concurrency()
+  std::uint64_t events = 0;  // per run — identical across shard counts
+  double wall_1_s = 0;       // monolithic wall (best of reps)
+  double wall_n_s = 0;       // sharded wall (best of reps)
+  std::uint64_t sync_rounds = 0;  // barrier rounds of the sharded run
+  bool deterministic = false;     // sharded digest == monolithic digest
+  double speedup() const { return wall_n_s > 0 ? wall_1_s / wall_n_s : 0; }
+};
+
+/// Bit-identity fingerprint of one run: event count, final clock, and an
+/// order-sensitive hash of the FCT sequence (same shape as the
+/// ab_identity_test goldens, recomputed here so the bench stands alone).
+struct ShardDigest {
+  std::uint64_t events = 0;
+  Time sim_end = 0;
+  std::uint64_t fct_hash = 0;
+  bool operator==(const ShardDigest&) const = default;
+};
+
+/// The same ONE simulation as run_perm_inter, at a caller-chosen shard
+/// count. Contrast run_sweep, which parallelizes across independent runs —
+/// this is the single-run path (--shards, DESIGN.md §14).
+ShardDigest run_perm_inter_sharded(bool quick, int shards, double* wall_s,
+                                   std::uint64_t* sync_rounds) {
+  ExperimentConfig cfg;
+  cfg.seed = bench::seed();
+  cfg.shards = shards;
+  Experiment ex(cfg);
+  const std::uint64_t bytes = (quick ? 256 : 2048) * 1024ull;
+  ex.spawn_all(make_permutation(bench::hosts_of(ex), bytes, cfg.seed));
+  const double t0 = now_seconds();
+  ex.run_to_completion(20 * kSecond);
+  *wall_s = now_seconds() - t0;
+  if (sync_rounds != nullptr) {
+    MetricRegistry m;
+    ex.snapshot_metrics(m);
+    *sync_rounds = m.counter("sim.shard.sync_rounds");
+  }
+  ShardDigest d;
+  d.events = ex.events_dispatched();
+  d.sim_end = ex.now();
+  for (const FlowResult& r : ex.fct().results())
+    d.fct_hash = d.fct_hash * 1315423911ull +
+                 static_cast<std::uint64_t>(r.completion_time);
+  return d;
+}
+
+ShardScaleResult run_shard_scale(bool quick, int reps) {
+  ShardScaleResult r;
+  r.shards = 2;  // the two-DC topology partitions into two atoms
+  r.hw_threads = std::thread::hardware_concurrency();
+  ShardDigest mono, par;
+  for (int i = 0; i < reps; ++i) {
+    double w1 = 0, wn = 0;
+    std::uint64_t rounds = 0;
+    mono = run_perm_inter_sharded(quick, 1, &w1, nullptr);
+    par = run_perm_inter_sharded(quick, r.shards, &wn, &rounds);
+    r.wall_1_s = i == 0 ? w1 : std::min(r.wall_1_s, w1);
+    r.wall_n_s = i == 0 ? wn : std::min(r.wall_n_s, wn);
+    r.sync_rounds = rounds;
+  }
+  r.events = mono.events;
+  r.deterministic = par == mono;
+  return r;
+}
+
 struct FecResult {
   std::string best_kernel = "scalar";
   double scalar_gbps = 0;
@@ -246,7 +320,8 @@ TraceOverheadResult run_trace_overhead(bool quick, int reps) {
 
 void write_json(const std::string& path, bool quick, int jobs,
                 const std::vector<ScenarioResult>& rs, const SweepResult& sweep,
-                const FecResult& fec, const TraceOverheadResult& trace) {
+                const ShardScaleResult& shards, const FecResult& fec,
+                const TraceOverheadResult& trace) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -272,6 +347,16 @@ void write_json(const std::string& path, bool quick, int jobs,
                "\"events\": %llu, \"events_per_sec\": %.0f},\n",
                sweep.points, jobs, sweep.wall_s,
                static_cast<unsigned long long>(sweep.events), sweep.events_per_sec);
+  std::fprintf(f,
+               "  \"shards\": {\"scenario\": \"perm_inter\", \"shards\": %d, "
+               "\"hw_threads\": %u, \"events\": %llu, \"wall_1_s\": %.4f, "
+               "\"wall_n_s\": %.4f, \"speedup\": %.2f, \"sync_rounds\": %llu, "
+               "\"deterministic\": %s},\n",
+               shards.shards, shards.hw_threads,
+               static_cast<unsigned long long>(shards.events), shards.wall_1_s,
+               shards.wall_n_s, shards.speedup(),
+               static_cast<unsigned long long>(shards.sync_rounds),
+               shards.deterministic ? "true" : "false");
   std::fprintf(f,
                "  \"fec\": {\"best_kernel\": \"%s\", \"encode_gbps_scalar\": %.3f, "
                "\"encode_gbps_best\": %.3f, \"encode_speedup\": %.2f},\n",
@@ -352,6 +437,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sweep.events), sweep.events_per_sec / 1e6);
   }
 
+  ShardScaleResult shards;
+  if (wanted("shards")) {
+    shards = run_shard_scale(quick, reps);
+    std::printf("\nshards: perm_inter x1 %.3fs, x%d %.3fs (%.2fx, %llu sync rounds, "
+                "%u hw threads) — %s\n",
+                shards.wall_1_s, shards.shards, shards.wall_n_s, shards.speedup(),
+                static_cast<unsigned long long>(shards.sync_rounds), shards.hw_threads,
+                shards.deterministic ? "bit-identical" : "DIGESTS DIVERGED");
+  }
+
   FecResult fec;
   if (wanted("fec")) {
     fec = run_fec(quick);
@@ -369,6 +464,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(trace.trace_events));
   }
 
-  if (!out.empty()) write_json(out, quick, jobs, results, sweep, fec, trace);
+  if (!out.empty()) write_json(out, quick, jobs, results, sweep, shards, fec, trace);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/build_info.hpp"
+#include "core/parallel.hpp"
 
 namespace uno {
 
@@ -108,9 +109,32 @@ void QcnDispatcher::on_event(std::uint64_t) {
   if (!pending_.empty()) eq_.schedule_at(pending_.front().due, this);
 }
 
+int Experiment::resolve_shards(const ExperimentConfig& cfg) {
+  int n = cfg.shards == 0 ? resolve_jobs(0) : cfg.shards;
+  if (n < 1) n = 1;
+  // Fault scripts mutate links and queues from shard 0's timeline, which is
+  // only safe when there is exactly one shard.
+  if (!cfg.faults.empty()) n = 1;
+  // Partition atoms are whole DCs (border tier included — the seam is the
+  // cross links), so more shards than DCs cannot help.
+  return std::min(n, std::max(1, cfg.uno.num_dcs));
+}
+
 Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
+  const int nshards = resolve_shards(cfg_);
+  for (int s = 0; s < nshards; ++s) eqs_.push_back(std::make_unique<EventQueue>());
+
+  // DC d lives on shard d * nshards / num_dcs (contiguous blocks; the
+  // identity map in the common shards == num_dcs case).
+  const int ndcs = std::max(1, cfg_.uno.num_dcs);
+  std::vector<EventQueue*> atom_map;
+  if (nshards == 1) {
+    atom_map.push_back(eqs_[0].get());
+  } else {
+    for (int d = 0; d < ndcs; ++d) atom_map.push_back(eqs_[d * nshards / ndcs].get());
+  }
   topo_ = std::make_unique<InterDcTopology>(
-      eq_, make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed));
+      atom_map, make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed));
   fct_ = FctCollector(
       FctCollector::pipe_ideal(cfg_.uno.link_rate, cfg_.uno.intra_rtt, cfg_.uno.inter_rtt));
   if (cfg_.trace.enabled) {
@@ -118,24 +142,79 @@ Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
     topt.categories = cfg_.trace.categories;
     topt.ring_capacity = cfg_.trace.ring_capacity;
     topt.depth_sample_interval = cfg_.trace.depth_sample_interval;
-    tracer_ = std::make_unique<Tracer>(topt);
-    // Components register in topology-build order — a pure function of the
-    // config — so traces are byte-identical across runs and --jobs levels.
-    for (Queue* q : topo_->all_queues())
-      q->set_trace({tracer_.get(), tracer_->add_component(q->name())});
+    // One tracer per shard: the Tracer staging buffer is single-writer, so
+    // each shard thread emits into its own. Components register in
+    // topology-build order — a pure function of the config — so traces are
+    // byte-identical across runs and --jobs levels; tracer() merges the
+    // per-shard tracers in shard order for export.
+    for (int s = 0; s < nshards; ++s) tracers_.push_back(std::make_unique<Tracer>(topt));
+    if (nshards == 1) {
+      for (Queue* q : topo_->all_queues())
+        q->set_trace({tracers_[0].get(), tracers_[0]->add_component(q->name())});
+    } else {
+      for (int d = 0; d < ndcs; ++d) {
+        Tracer* tr = tracers_[shard_of(d)].get();
+        for (Queue* q : topo_->atom_queues(d))
+          q->set_trace({tr, tr->add_component(q->name())});
+      }
+    }
   }
   if (cfg_.scheme.annulus) {
-    qcn_ = std::make_unique<QcnDispatcher>(eq_, *topo_, cfg_.uno.qcn_feedback_delay);
-    for (int d = 0; d < topo_->num_dcs(); ++d)
+    // One dispatcher per DC so notify/deliver stays inside the DC's shard.
+    // Source-side ports only ever carry packets sourced in their own DC
+    // (routes climb in the source DC), so delivery never crosses the seam.
+    for (int d = 0; d < topo_->num_dcs(); ++d) {
+      qcn_.push_back(std::make_unique<QcnDispatcher>(*atom_map[nshards == 1 ? 0 : d],
+                                                     *topo_, cfg_.uno.qcn_feedback_delay));
+      QcnDispatcher* qd = qcn_.back().get();
       for (Queue* q : topo_->source_side_queues(d))
-        q->set_qcn_hook([this](const Packet& p) { qcn_->notify(p); });
+        q->set_qcn_hook([qd](const Packet& p) { qd->notify(p); });
+    }
   }
   // The injector draws from its own RNG stream family off the experiment
   // seed, so adding/removing faults never perturbs workload or LB draws.
+  // resolve_shards forces a monolithic run whenever a plan is present.
   if (!cfg_.faults.empty()) {
-    faults_ = std::make_unique<FaultInjector>(eq_, *topo_, cfg_.faults, cfg_.seed);
-    if (tracer_) faults_->set_trace({tracer_.get(), tracer_->add_component("faults")});
+    faults_ = std::make_unique<FaultInjector>(*eqs_[0], *topo_, cfg_.faults, cfg_.seed);
+    if (!tracers_.empty())
+      faults_->set_trace({tracers_[0].get(), tracers_[0]->add_component("faults")});
   }
+  if (nshards > 1) {
+    std::vector<EventQueue*> qs;
+    for (auto& q : eqs_) qs.push_back(q.get());
+    std::vector<CrossShardChannel*> chans;
+    for (ChannelLink* c : topo_->all_channels()) chans.push_back(c);
+    runner_ = std::make_unique<ShardRunner>(std::move(qs), std::move(chans));
+    pending_completions_.resize(nshards);
+  }
+}
+
+Time Experiment::now() const { return runner_ ? runner_->now() : eqs_[0]->now(); }
+
+std::uint64_t Experiment::events_dispatched() const {
+  std::uint64_t n = 0;
+  for (const auto& q : eqs_) n += q->dispatched();
+  return n;
+}
+
+std::uint64_t Experiment::qcn_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& qd : qcn_) n += qd->delivered();
+  return n;
+}
+
+Tracer* Experiment::tracer() {
+  if (tracers_.empty()) return nullptr;
+  if (!runner_) return tracers_[0].get();
+  // Sharded: rebuild the merged view (cheap relative to export, and always
+  // consistent with the rings at the time of the call).
+  merged_tracer_ = std::make_unique<Tracer>(tracers_[0]->options());
+  for (const auto& t : tracers_) merged_tracer_->absorb(*t);
+  return merged_tracer_.get();
+}
+
+const Tracer* Experiment::tracer() const {
+  return const_cast<Experiment*>(this)->tracer();
 }
 
 FlowParams Experiment::flow_params(const FlowSpec& spec) const {
@@ -180,17 +259,37 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
   auto lb = make_lb(lbk, params.id, static_cast<std::uint16_t>(paths.size()),
                     params.base_rtt, cfg_.uno, cfg_.seed);
 
-  auto callback = [this, extra = std::move(extra)](const FlowResult& r) {
-    ++completed_;
-    fct_.add(r);
-    if (extra) extra(r);
-  };
-  auto flow = std::make_unique<Flow>(eq_, topo_->host(spec.src), topo_->host(spec.dst),
+  const int src_shard = shard_of(topo_->dc_of(spec.src));
+  const int dst_shard = shard_of(topo_->dc_of(spec.dst));
+  FlowSender::CompletionCallback callback;
+  if (runner_) {
+    // Completion fires on the sender's shard thread; park the record and let
+    // the barrier-side drain apply it (and any extra callback) in
+    // deterministic shard order.
+    callback = [this, src_shard, extra = std::move(extra)](const FlowResult& r) {
+      pending_completions_[src_shard].push_back({r, extra});
+    };
+  } else {
+    callback = [this, extra = std::move(extra)](const FlowResult& r) {
+      ++completed_;
+      fct_.add(r);
+      if (extra) extra(r);
+    };
+  }
+  auto flow = std::make_unique<Flow>(*eqs_[src_shard], *eqs_[dst_shard],
+                                     topo_->host(spec.src), topo_->host(spec.dst),
                                      params, &paths, std::move(cc), std::move(lb),
                                      std::move(callback));
-  if (tracer_)
-    flow->set_trace(
-        {tracer_.get(), tracer_->add_component("flow:" + std::to_string(params.id))});
+  if (!tracers_.empty()) {
+    const std::string cname = "flow:" + std::to_string(params.id);
+    Tracer* ts = tracers_[src_shard].get();
+    if (src_shard == dst_shard) {
+      flow->set_trace({ts, ts->add_component(cname)});
+    } else {
+      Tracer* td = tracers_[dst_shard].get();
+      flow->set_trace({ts, ts->add_component(cname)}, {td, td->add_component(cname)});
+    }
+  }
   flow->start();
   flows_.push_back(std::move(flow));
   return flows_.back()->sender();
@@ -206,8 +305,8 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
   m.set_info("build", build_info_string());
   m.set_counter("flows.spawned", flows_.size());
   m.set_counter("flows.completed", completed_);
-  m.set_counter("sim.events_dispatched", eq_.dispatched());
-  m.set_gauge("sim.time_us", to_microseconds(eq_.now()));
+  m.set_counter("sim.events_dispatched", events_dispatched());
+  m.set_gauge("sim.time_us", to_microseconds(now()));
   m.set_counter("fabric.drops", topo_->total_drops());
   m.set_counter("fabric.trims", topo_->total_trims());
 
@@ -215,17 +314,55 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
   // wheel.* shows how much timer traffic bypassed the near-heap; cascaded /
   // slot_drains bound the amortized re-filing cost; stale.noted vs
   // compacted shows how hard lazy cancellation leaned on compaction.
-  m.set_counter("sim.peak_pending", eq_.peak_pending());
-  m.set_counter("sim.wheel.inserts", eq_.wheel_inserts());
-  m.set_counter("sim.wheel.cascades", eq_.wheel_cascades());
-  m.set_counter("sim.wheel.cascaded_entries", eq_.wheel_cascaded_entries());
-  m.set_counter("sim.wheel.slot_drains", eq_.wheel_slot_drains());
-  m.set_counter("sim.wheel.overflow_inserts", eq_.wheel_overflow_inserts());
-  m.set_counter("sim.wheel.overflow_jumps", eq_.wheel_overflow_jumps());
-  m.set_counter("sim.stale.noted", eq_.stale_noted());
-  m.set_counter("sim.compactions", eq_.compactions());
-  m.set_counter("sim.compacted_entries", eq_.compacted_entries());
-  m.set_counter("sim.clamped_schedules", eq_.clamped_schedules());
+  // Summed across shards (one term monolithic).
+  std::uint64_t peak_pending = 0, wheel_inserts = 0, wheel_cascades = 0;
+  std::uint64_t wheel_cascaded = 0, wheel_drains = 0, wheel_ovf_ins = 0;
+  std::uint64_t wheel_ovf_jumps = 0, stale_noted = 0, compactions = 0;
+  std::uint64_t compacted = 0, clamped = 0, stale_disp = 0;
+  for (const auto& q : eqs_) {
+    peak_pending += q->peak_pending();
+    wheel_inserts += q->wheel_inserts();
+    wheel_cascades += q->wheel_cascades();
+    wheel_cascaded += q->wheel_cascaded_entries();
+    wheel_drains += q->wheel_slot_drains();
+    wheel_ovf_ins += q->wheel_overflow_inserts();
+    wheel_ovf_jumps += q->wheel_overflow_jumps();
+    stale_noted += q->stale_noted();
+    compactions += q->compactions();
+    compacted += q->compacted_entries();
+    clamped += q->clamped_schedules();
+    stale_disp += q->stale_dispatches();
+  }
+  m.set_counter("sim.peak_pending", peak_pending);
+  m.set_counter("sim.wheel.inserts", wheel_inserts);
+  m.set_counter("sim.wheel.cascades", wheel_cascades);
+  m.set_counter("sim.wheel.cascaded_entries", wheel_cascaded);
+  m.set_counter("sim.wheel.slot_drains", wheel_drains);
+  m.set_counter("sim.wheel.overflow_inserts", wheel_ovf_ins);
+  m.set_counter("sim.wheel.overflow_jumps", wheel_ovf_jumps);
+  m.set_counter("sim.stale.noted", stale_noted);
+  m.set_counter("sim.stale.dispatches", stale_disp);
+  m.set_counter("sim.compactions", compactions);
+  m.set_counter("sim.compacted_entries", compacted);
+  m.set_counter("sim.clamped_schedules", clamped);
+
+  // Conservative-PDES accounting (DESIGN.md §14): how the bounded-lag run
+  // spent its windows. Mirrors the sim.wheel.* style; per-shard event counts
+  // expose load balance, stall is wall-clock waiting at barriers.
+  m.set_counter("sim.shard.count", static_cast<std::uint64_t>(shards()));
+  if (runner_) {
+    for (std::size_t s = 0; s < eqs_.size(); ++s)
+      m.set_counter("sim.shard.events." + std::to_string(s), eqs_[s]->dispatched());
+    m.set_counter("sim.shard.sync_rounds", runner_->sync_rounds());
+    m.set_counter("sim.shard.crossings", runner_->crossings_flushed());
+    m.set_gauge("sim.shard.stall_ms", runner_->stall_seconds() * 1e3);
+    m.set_counter("sim.shard.channel_peak_occupancy",
+                  runner_->channel_peak_occupancy());
+    const auto& hist = runner_->advance_hist();
+    for (int b = 0; b < ShardRunner::kHistBuckets; ++b)
+      if (hist[b] != 0)
+        m.set_counter("sim.shard.advance_us_log2_" + std::to_string(b), hist[b]);
+  }
 
   std::uint64_t forwarded = 0, ecn_marked = 0;
   for (const Queue* q : topo_->all_queues()) {
@@ -269,12 +406,12 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
   m.set_gauge("fct.inter.mean_us", inter.mean_us);
   m.set_gauge("fct.inter.p99_us", inter.p99_us);
 
-  if (qcn_) m.set_counter("qcn.delivered", qcn_->delivered());
+  if (!qcn_.empty()) m.set_counter("qcn.delivered", qcn_delivered());
   if (faults_) m.set_counter("faults.actions", faults_->actions());
-  if (tracer_) {
-    m.set_counter("trace.components", tracer_->num_components());
-    m.set_counter("trace.events", tracer_->total_events());
-    m.set_counter("trace.dropped", tracer_->total_dropped());
+  if (const Tracer* tr = tracer()) {
+    m.set_counter("trace.components", tr->num_components());
+    m.set_counter("trace.events", tr->total_events());
+    m.set_counter("trace.dropped", tr->total_dropped());
   }
 }
 
@@ -283,8 +420,8 @@ ExperimentResult Experiment::result(Recorder recorder) const {
   r.flows_spawned = flows_.size();
   r.flows_completed = completed_;
   r.all_complete = all_complete();
-  r.sim_time = eq_.now();
-  r.events_dispatched = eq_.dispatched();
+  r.sim_time = now();
+  r.events_dispatched = events_dispatched();
   r.fabric_drops = topo_->total_drops();
   r.fabric_trims = topo_->total_trims();
   r.fct_all = fct_.summarize(FctCollector::Class::kAll);
@@ -296,12 +433,47 @@ ExperimentResult Experiment::result(Recorder recorder) const {
   return r;
 }
 
+void Experiment::drain_completions() {
+  for (auto& vec : pending_completions_) {
+    for (PendingCompletion& pc : vec) {
+      ++completed_;
+      fct_.add(pc.r);
+      if (pc.extra) pc.extra(pc.r);
+    }
+    vec.clear();
+  }
+}
+
+void Experiment::run_until(Time t) {
+  if (runner_) {
+    runner_->run_until(t);
+    drain_completions();
+  } else {
+    eqs_[0]->run_until(t);
+  }
+}
+
 bool Experiment::run_to_completion(Time deadline) {
   // Chunked stepping: samplers and stragglers keep the queue non-empty, so
-  // completion is checked between chunks rather than waiting for drain.
+  // completion is checked between chunks rather than waiting for drain. The
+  // chunk grid is identical monolithic and sharded — bounded-lag windows
+  // subdivide a chunk but always land exactly on its boundary — so the final
+  // clock (and every golden digest) is shard-count independent.
   const Time chunk = std::max<Time>(cfg_.uno.intra_rtt * 16, 100 * kMicrosecond);
-  while (!all_complete() && eq_.now() < deadline && !eq_.empty())
-    eq_.run_until(std::min(deadline, eq_.now() + chunk));
+  if (runner_) {
+    while (!all_complete() && runner_->now() < deadline && !runner_->idle()) {
+      runner_->run_until(std::min(deadline, runner_->now() + chunk));
+      drain_completions();
+    }
+  } else {
+    EventQueue& eq = *eqs_[0];
+    while (!all_complete() && eq.now() < deadline && !eq.empty())
+      eq.run_until(std::min(deadline, eq.now() + chunk));
+  }
+  // Canonical result order in every mode: completion order is an event-loop
+  // artifact (and shard-interleaved when N > 1); the canonical sort is a
+  // pure function of simulation content.
+  fct_.canonicalize();
   return all_complete();
 }
 

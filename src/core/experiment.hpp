@@ -14,6 +14,7 @@
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
 #include "obs/recorder.hpp"
+#include "sim/shard.hpp"
 #include "stats/fct.hpp"
 #include "topo/interdc.hpp"
 #include "workload/traffic.hpp"
@@ -26,6 +27,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   /// Scale the default topology down (k=4 -> 16 hosts/DC) for unit tests.
   int fattree_k = 0;  // 0 -> uno.fattree_k
+  /// Conservative-PDES shard count for a single run (DESIGN.md §14):
+  /// 1 = monolithic event loop, 0 = one shard per core, N = at most N.
+  /// Always clamped to the number of partition atoms (= num_dcs) and to 1
+  /// when a fault plan is present (fault scripts mutate links cross-shard).
+  /// Results are bit-identical for every value; only wall-clock changes.
+  int shards = 1;
   /// Declarative fault timeline, executed by a FaultInjector the experiment
   /// owns (see src/faults). Empty = fault-free run.
   FaultPlan faults;
@@ -100,7 +107,19 @@ class Experiment {
  public:
   explicit Experiment(const ExperimentConfig& cfg);
 
-  EventQueue& eq() { return eq_; }
+  /// Shard 0's queue. In a monolithic run (the default) this is *the* event
+  /// queue; sharded callers should prefer now()/events_dispatched(), which
+  /// aggregate across shards.
+  EventQueue& eq() { return *eqs_[0]; }
+  /// Effective shard count after clamping (cfg.shards resolved against the
+  /// core count, the number of DCs, and the fault-plan restriction).
+  int shards() const { return static_cast<int>(eqs_.size()); }
+  /// Simulation clock: identical to eq().now() monolithic; the barrier-time
+  /// clock every shard agrees on otherwise.
+  Time now() const;
+  /// Events dispatched across all shards (see the run_until contract note in
+  /// sim/event.hpp).
+  std::uint64_t events_dispatched() const;
   InterDcTopology& topo() { return *topo_; }
   const ExperimentConfig& config() const { return cfg_; }
   FctCollector& fct() { return fct_; }
@@ -119,20 +138,26 @@ class Experiment {
   /// Run until every spawned flow completes or `deadline` passes.
   /// Returns true if everything completed.
   bool run_to_completion(Time deadline);
-  void run_until(Time t) { eq_.run_until(t); }
+  void run_until(Time t);
 
   /// Flow parameter derivation, exposed for tests.
   FlowParams flow_params(const FlowSpec& spec) const;
   CcParams cc_params(const FlowSpec& spec) const;
 
   FlowSender& sender(std::size_t i) { return flows_[i]->sender(); }
-  /// Annulus dispatcher (null unless the scheme enables the add-on).
-  QcnDispatcher* qcn_dispatcher() { return qcn_.get(); }
+  /// Annulus dispatcher for DC 0, or null unless the scheme enables the
+  /// add-on. Dispatchers are per-DC (each lives entirely inside one shard);
+  /// use qcn_delivered() for the run-wide total.
+  QcnDispatcher* qcn_dispatcher() { return qcn_.empty() ? nullptr : qcn_[0].get(); }
+  std::uint64_t qcn_delivered() const;
   /// Fault injector (null for a fault-free run).
   FaultInjector* fault_injector() { return faults_.get(); }
-  /// Flight recorder (null unless config().trace.enabled).
-  Tracer* tracer() { return tracer_.get(); }
-  const Tracer* tracer() const { return tracer_.get(); }
+  /// Flight recorder (null unless config().trace.enabled). Monolithic runs
+  /// return the one tracer; sharded runs return a merged view rebuilt on
+  /// each call (per-shard tracers absorbed in shard order) — read it after
+  /// the run, not between windows.
+  Tracer* tracer();
+  const Tracer* tracer() const;
 
   /// Snapshot the run into an ExperimentResult. `recorder` becomes the
   /// result's export surface (default: disabled, writes no-op).
@@ -146,14 +171,36 @@ class Experiment {
                                         int fattree_k, std::uint64_t seed);
 
  private:
+  /// Resolve cfg.shards against the machine, the atom count, and the
+  /// fault-plan restriction.
+  static int resolve_shards(const ExperimentConfig& cfg);
+  /// Shard index owning DC `dc` (always 0 monolithic). Contiguous block
+  /// mapping — must match the atom map built in the constructor.
+  int shard_of(int dc) const {
+    const int n = static_cast<int>(eqs_.size());
+    return n == 1 ? 0 : dc * n / topo_->num_dcs();
+  }
+  /// Move per-shard completion records into fct_/completed_ (barrier-side;
+  /// no-op monolithic, where completions apply inline).
+  void drain_completions();
+
   ExperimentConfig cfg_;
-  EventQueue eq_;
+  std::vector<std::unique_ptr<EventQueue>> eqs_;  // one per shard
   std::unique_ptr<InterDcTopology> topo_;
+  std::unique_ptr<ShardRunner> runner_;  // null when monolithic
   FctCollector fct_;
-  std::unique_ptr<QcnDispatcher> qcn_;
+  std::vector<std::unique_ptr<QcnDispatcher>> qcn_;  // per DC (empty w/o annulus)
   std::unique_ptr<FaultInjector> faults_;
-  std::unique_ptr<Tracer> tracer_;
+  std::vector<std::unique_ptr<Tracer>> tracers_;  // one per shard (empty w/o trace)
+  mutable std::unique_ptr<Tracer> merged_tracer_;  // sharded tracer() view
   std::vector<std::unique_ptr<Flow>> flows_;
+  /// Sender-side completion records parked by shard threads during a window,
+  /// drained single-threaded at barriers. Indexed by the sender's shard.
+  struct PendingCompletion {
+    FlowResult r;
+    std::function<void(const FlowResult&)> extra;
+  };
+  std::vector<std::vector<PendingCompletion>> pending_completions_;
   std::size_t completed_ = 0;
   std::uint64_t next_flow_id_ = 1;
 };

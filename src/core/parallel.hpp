@@ -9,8 +9,13 @@
 // interleaving and `jobs=1` vs `jobs=N` produce identical merged results.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -30,6 +35,45 @@ int resolve_jobs(int requested);
 /// invocation throws, the first exception (by completion order) is
 /// rethrown on the caller's thread after all workers finish.
 void parallel_for(int jobs, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Persistent worker pool for fine-grained repeated fan-outs.
+///
+/// parallel_for spawns threads per call, which is fine for a sweep (seconds
+/// of work per call) but not for the shard runner, which fans out once per
+/// synchronization window (hundreds of microseconds of work per call).
+/// WorkerPool keeps `threads - 1` workers parked on a condition variable and
+/// reuses them across run() calls; the caller's thread participates as
+/// worker 0, same as parallel_for. run() has the same contract as
+/// parallel_for: fn(i) for i in [0, n), self-contained per index, first
+/// exception rethrown on the caller after the fan-out completes.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+ private:
+  void worker_loop();
+  void work_one_epoch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  // Per-epoch state (guarded by mu_ for publication; indices are claimed
+  // lock-free via next_).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t next_ = 0;       // claimed under mu_ (windows are tiny fan-outs)
+  std::size_t completed_ = 0;  // indices finished this epoch
+  std::exception_ptr first_error_;
+};
 
 /// Map `fn` over [0, n) and collect the results in index order.
 template <typename Fn>

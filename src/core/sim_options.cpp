@@ -14,6 +14,10 @@ OptionSet make_sim_options() {
   opts.add_str("workload", "poisson", "NAME", "poisson | incast | permutation | replay");
   opts.add_num("seed", 1, "N", "RNG seed");
   opts.add_num("deadline-ms", 1000, "F", "simulation deadline");
+  opts.add_num("shards", 1, "N",
+               "conservative-PDES shards for ONE run (0 = one per core;\n"
+               "clamped to the DC count). Bit-identical results for every\n"
+               "value — contrast --jobs, which parallelizes *across* runs");
   opts.add_flag("queues", "also print the busiest queues");
   opts.add_flag("version", "print build info (git hash, compiler, flags) and exit");
   opts.add_flag("help", "print this help and exit");

@@ -36,7 +36,8 @@ FaultInjector::FaultInjector(EventQueue& eq, InterDcTopology& topo, FaultPlan pl
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     targets_[i] = resolve(e.target);
-    if (targets_[i].links.empty() && targets_[i].queues.empty()) {
+    if (targets_[i].links.empty() && targets_[i].channels.empty() &&
+        targets_[i].queues.empty()) {
       unmatched_.push_back(e.target);
       continue;
     }
@@ -57,6 +58,9 @@ FaultInjector::Targets FaultInjector::resolve(const std::string& pattern) const 
   for (Link* l : topo_.all_links())
     if (glob_match(glob, base_name(l->name())) || glob_match(glob, l->name()))
       out.links.push_back(l);
+  for (ChannelLink* c : topo_.all_channels())
+    if (glob_match(glob, base_name(c->name())) || glob_match(glob, c->name()))
+      out.channels.push_back(c);
   for (Queue* q : topo_.all_queues())
     if (glob_match(glob, base_name(q->name())) || glob_match(glob, q->name()))
       out.queues.push_back(q);
@@ -66,6 +70,10 @@ FaultInjector::Targets FaultInjector::resolve(const std::string& pattern) const 
 void FaultInjector::set_links_up(std::size_t i, bool up) {
   for (Link* l : targets_[i].links) {
     l->set_up(up);
+    ++actions_;
+  }
+  for (ChannelLink* c : targets_[i].channels) {
+    c->set_up(up);
     ++actions_;
   }
 }
@@ -103,20 +111,30 @@ void FaultInjector::apply(std::size_t i) {
                        e.add);
         ++actions_;
       }
+      for (ChannelLink* c : t.channels) {
+        s.latencies.push_back(c->latency());
+        c->set_latency(static_cast<Time>(static_cast<double>(c->latency()) * e.factor) +
+                       e.add);
+        ++actions_;
+      }
       break;
     case FaultKind::kLoss: {
       s.losses.clear();
       std::uint64_t stream = 0xFA000000ULL + i * 4096;
-      for (Link* l : t.links) {
-        std::unique_ptr<LossModel> model;
+      auto make_model = [&]() -> std::unique_ptr<LossModel> {
         if (e.gilbert) {
           GilbertElliottLoss::Params p = GilbertElliottLoss::table1_setup1();
           p.p_good_to_bad = std::min(1.0, p.p_good_to_bad * e.scale);
-          model = std::make_unique<GilbertElliottLoss>(p, Rng::stream(seed_, stream++));
-        } else {
-          model = std::make_unique<BernoulliLoss>(e.rate, Rng::stream(seed_, stream++));
+          return std::make_unique<GilbertElliottLoss>(p, Rng::stream(seed_, stream++));
         }
-        s.losses.push_back(l->swap_loss_model(std::move(model)));
+        return std::make_unique<BernoulliLoss>(e.rate, Rng::stream(seed_, stream++));
+      };
+      for (Link* l : t.links) {
+        s.losses.push_back(l->swap_loss_model(make_model()));
+        ++actions_;
+      }
+      for (ChannelLink* c : t.channels) {
+        s.losses.push_back(c->swap_loss_model(make_model()));
         ++actions_;
       }
       break;
@@ -145,10 +163,18 @@ void FaultInjector::restore(std::size_t i) {
         t.links[j]->set_latency(s.latencies[j]);
         ++actions_;
       }
+      for (std::size_t j = 0; j < t.channels.size(); ++j) {
+        t.channels[j]->set_latency(s.latencies[t.links.size() + j]);
+        ++actions_;
+      }
       break;
     case FaultKind::kLoss:
       for (std::size_t j = 0; j < t.links.size(); ++j) {
         t.links[j]->swap_loss_model(std::move(s.losses[j]));
+        ++actions_;
+      }
+      for (std::size_t j = 0; j < t.channels.size(); ++j) {
+        t.channels[j]->swap_loss_model(std::move(s.losses[t.links.size() + j]));
         ++actions_;
       }
       s.losses.clear();

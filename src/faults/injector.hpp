@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "faults/plan.hpp"
+#include "net/channel.hpp"
 #include "net/link.hpp"
 #include "net/loss.hpp"
 #include "net/queue.hpp"
@@ -36,8 +37,12 @@ class FaultInjector final : public EventHandler {
 
   /// Total link/queue state changes applied so far.
   std::uint64_t actions() const { return actions_; }
-  /// Number of links the event at plan index `i` resolved to.
-  std::size_t links_matched(std::size_t i) const { return targets_[i].links.size(); }
+  /// Number of links the event at plan index `i` resolved to. Cross-DC
+  /// ChannelLinks count here too: a fault pattern addresses "links" without
+  /// caring which concrete kind the topology built.
+  std::size_t links_matched(std::size_t i) const {
+    return targets_[i].links.size() + targets_[i].channels.size();
+  }
   std::size_t queues_matched(std::size_t i) const { return targets_[i].queues.size(); }
   /// Targets that matched no element (almost always a typo in the pattern).
   const std::vector<std::string>& unmatched() const { return unmatched_; }
@@ -54,9 +59,11 @@ class FaultInjector final : public EventHandler {
 
   struct Targets {
     std::vector<Link*> links;
+    std::vector<ChannelLink*> channels;  // cross-DC seam links
     std::vector<Queue*> queues;
   };
-  /// Per-event saved state for restoration at `until`.
+  /// Per-event saved state for restoration at `until`. Per-link vectors are
+  /// laid out links-first-then-channels, matching the apply order.
   struct Saved {
     std::vector<Time> latencies;                       // kLatency
     std::vector<std::unique_ptr<LossModel>> losses;    // kLoss (displaced models)

@@ -95,6 +95,16 @@ void Tracer::drain() {
   stage_n_ = 0;
 }
 
+void Tracer::absorb(const Tracer& other) {
+  other.sync();
+  for (const Component& c : other.components_) {
+    components_.push_back(Component{{}, c.dropped, c.name});
+    Component& mine = components_.back();
+    if (c.ring.size() > 0) mine.ring.reserve(c.ring.size());
+    for (std::size_t i = 0; i < c.ring.size(); ++i) mine.ring.push_back(c.ring[i]);
+  }
+}
+
 std::size_t Tracer::total_events() const {
   sync();
   std::size_t n = 0;

@@ -177,6 +177,13 @@ class Tracer {
   std::size_t total_events() const;
   std::uint64_t total_dropped() const;
 
+  /// Append another tracer's components — names, ring contents, drop counts —
+  /// after this tracer's own. Used to merge per-shard tracers into one
+  /// deterministic export: absorb shard tracers in shard order, then
+  /// chrome_trace_json() orders globally by (time, merged component id,
+  /// ring order) exactly as a monolithic tracer would. Post-run only.
+  void absorb(const Tracer& other);
+
   // --- export ----------------------------------------------------------------
   /// Chrome trace_event JSON (Perfetto / chrome://tracing). Deterministic:
   /// events are globally ordered by (time, component id, per-ring order).

@@ -31,8 +31,16 @@ std::uint64_t EventQueue::run_until(Time deadline) {
       __builtin_prefetch(&ns);
       __builtin_prefetch(ns.handler);
     }
+    stale_dispatch_ = false;
     h->on_event(e.tag);
-    ++n;
+    // A superseded timer wakeup flags itself via note_stale_consumed();
+    // keeping it out of `n` makes the dispatch total independent of whether
+    // compaction (a queue-size heuristic, so shard-count dependent) removed
+    // the entry before it could pop.
+    if (stale_dispatch_)
+      ++stale_dispatches_;
+    else
+      ++n;
   }
   // Advance the clock to the deadline even if nothing fired there, so
   // successive run_until calls observe monotonic time.

@@ -127,20 +127,8 @@ class EventQueue {
     }
     if (handler->registry_.get() != registry_.get()) bind(handler);
     const std::uint32_t slot = handler->slot_;
-    const Entry e{make_key(t, next_seq_++), tag, slot,
-                  registry_->slots[slot].generation};
-    // Route by quantum: the heap holds only the wheel cursor's quantum (and
-    // earlier stragglers — always safe, the heap is a full priority queue);
-    // strictly later quanta park in the wheel in O(1).
-    const std::uint64_t q = static_cast<std::uint64_t>(t) >> kQuantumShift;
-    if (q <= wheel_.cur()) {
-      heap_.push_back(e);
-      sift_up(heap_.size() - 1);
-    } else {
-      wheel_.insert(q, e);
-    }
-    const std::size_t p = heap_.size() + wheel_.size();
-    if (p > peak_pending_) peak_pending_ = p;
+    push_entry(t, Entry{make_key(t, next_seq_++), tag, slot,
+                        registry_->slots[slot].generation});
   }
 
   /// Schedule after a relative delay.
@@ -148,16 +136,70 @@ class EventQueue {
     schedule_at(now_ + delay, handler, tag);
   }
 
+  /// Canonical cross-shard keys. Events that cross a shard seam cannot use
+  /// the destination queue's insertion counter for tie-breaking — the value
+  /// it would take depends on how the run is sharded. Instead the producer
+  /// supplies a *canonical* sequence: high bit set (so a crossing event sorts
+  /// after every same-time intra-shard event — whose seqs count up from 0 and
+  /// can never reach 2^63), then the channel id, then the per-channel
+  /// sequence. The resulting (t, seq) key is a pure function of simulation
+  /// content, identical for every value of --shards.
+  static constexpr std::uint64_t kCanonicalBand = 1ull << 63;
+  static constexpr int kChannelShift = 48;
+  static std::uint64_t canonical_seq(std::uint32_t channel, std::uint64_t seq) {
+    assert(channel < (1u << 15) && "channel id must fit 15 bits");
+    assert(seq < (1ull << kChannelShift) && "per-channel seq overflow");
+    return kCanonicalBand | (static_cast<std::uint64_t>(channel) << kChannelShift) | seq;
+  }
+
+  /// Schedule with a caller-supplied 64-bit sequence component instead of
+  /// this queue's insertion counter (see canonical_seq above). Same clamping
+  /// rules as schedule_at. The queue's own counter is not consumed, so the
+  /// relative order of ordinary same-time events is unaffected.
+  void schedule_keyed(Time t, EventHandler* handler, std::uint64_t tag,
+                      std::uint64_t seq64) {
+    assert(handler != nullptr);
+    assert(t >= now_ && "cannot schedule into the past");
+    if (t < now_) {
+      t = now_;
+      ++clamped_;
+    }
+    if (handler->registry_.get() != registry_.get()) bind(handler);
+    const std::uint32_t slot = handler->slot_;
+    push_entry(t, Entry{make_key(t, seq64), tag, slot,
+                        registry_->slots[slot].generation});
+  }
+
   /// Run events until the queue is empty or the clock passes `deadline`.
-  /// Returns the number of events dispatched.
+  /// Returns the number of events dispatched *by this queue* during the call.
+  /// Under sharding (sim/shard.hpp) each shard's queue counts only its own
+  /// dispatches; ShardRunner::dispatched() / Experiment::events_dispatched()
+  /// sum the per-shard counters, so `sim.events` metrics and bench
+  /// denominators stay comparable across --shards values.
   std::uint64_t run_until(Time deadline);
 
   /// Run until the queue drains completely.
   std::uint64_t run_all() { return run_until(kTimeInfinity); }
 
+  /// Time of the earliest pending event, kTimeInfinity when empty. May pull
+  /// a wheel quantum into the near-heap to find it — that move never changes
+  /// dispatch order (the heap re-sorts by the full key), it just happens a
+  /// little earlier than the dispatch loop would have done it. Used by the
+  /// shard coordinator to hop bounded-lag windows over idle gaps.
+  Time next_event_time() {
+    while (heap_.empty())
+      if (!refill_from_wheel()) return kTimeInfinity;
+    return key_time(heap_[0]);
+  }
+
   bool empty() const { return heap_.empty() && wheel_.empty(); }
   std::size_t pending() const { return heap_.size() + wheel_.size(); }
   std::size_t peak_pending() const { return peak_pending_; }
+  /// Events executed to completion. Stale no-op wakeups (superseded Timer
+  /// deadlines, dead-slot entries) are excluded: compaction removes those
+  /// before they pop, and its trigger depends on queue size — counting them
+  /// would make this total vary with the shard count. See stale_dispatches()
+  /// for the excluded wakeups.
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// Stale-entry accounting, used by Timer: each cancel/rearm that strands a
@@ -172,10 +214,18 @@ class EventQueue {
   }
   void note_stale_consumed() {
     if (stale_hint_ > 0) --stale_hint_;
+    // Tell the dispatch loop the wakeup it is executing was a no-op, so it
+    // stays out of dispatched(). Whether a superseded timer entry is popped
+    // (here) or compacted away first depends on queue size — which depends
+    // on the shard count — so counting these would make event totals vary
+    // with --shards (DESIGN.md §14).
+    stale_dispatch_ = true;
   }
 
   /// Introspection for tests and perf accounting.
   std::uint64_t compactions() const { return compactions_; }
+  /// Stale wakeups popped and skipped (excluded from dispatched()).
+  std::uint64_t stale_dispatches() const { return stale_dispatches_; }
   std::uint64_t compacted_entries() const { return compacted_; }
   std::uint64_t clamped_schedules() const { return clamped_; }
   std::size_t stale_hint() const { return stale_hint_; }
@@ -211,6 +261,21 @@ class EventQueue {
   }
   static Time key_time(const Entry& e) {
     return static_cast<Time>(static_cast<std::uint64_t>(e.key >> 64));
+  }
+
+  /// Route a finished entry by quantum: the heap holds only the wheel
+  /// cursor's quantum (and earlier stragglers — always safe, the heap is a
+  /// full priority queue); strictly later quanta park in the wheel in O(1).
+  void push_entry(Time t, const Entry& e) {
+    const std::uint64_t q = static_cast<std::uint64_t>(t) >> kQuantumShift;
+    if (q <= wheel_.cur()) {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    } else {
+      wheel_.insert(q, e);
+    }
+    const std::size_t p = heap_.size() + wheel_.size();
+    if (p > peak_pending_) peak_pending_ = p;
   }
 
   void bind(EventHandler* h) {
@@ -292,6 +357,10 @@ class EventQueue {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t stale_dispatches_ = 0;
+  /// Set by note_stale_consumed() while an on_event is executing: marks the
+  /// in-flight dispatch as a stale no-op (see the run_until loop).
+  bool stale_dispatch_ = false;
   std::size_t peak_pending_ = 0;
   std::size_t stale_hint_ = 0;
   std::uint64_t stale_noted_ = 0;

@@ -1,0 +1,123 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace uno {
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// More pool threads than cores only adds context switches: the window
+// fan-out is CPU-bound, and WorkerPool's shared index counter lets fewer
+// threads drain all shards. With one core the pool degrades to serial
+// inline execution — the heap-splitting win still applies. UNO_SHARD_THREADS
+// overrides the clamp so the TSan leg (and tests on small boxes) can force
+// real cross-thread execution of the window fan-out.
+int shard_pool_threads(std::size_t nqueues) {
+  if (const char* env = std::getenv("UNO_SHARD_THREADS")) {
+    const int forced = std::atoi(env);
+    if (forced > 0) return forced;
+  }
+  return std::min(static_cast<int>(nqueues), resolve_jobs(0));
+}
+
+}  // namespace
+
+ShardRunner::ShardRunner(std::vector<EventQueue*> queues,
+                         std::vector<CrossShardChannel*> channels)
+    : queues_(std::move(queues)),
+      channels_(std::move(channels)),
+      pool_(shard_pool_threads(queues_.size())),
+      busy_ns_(queues_.size(), 0) {
+  for (const EventQueue* q : queues_) now_ = std::max(now_, q->now());
+}
+
+std::uint64_t ShardRunner::dispatched() const {
+  std::uint64_t n = 0;
+  for (const EventQueue* q : queues_) n += q->dispatched();
+  return n;
+}
+
+bool ShardRunner::idle() const {
+  for (const EventQueue* q : queues_)
+    if (!q->empty()) return false;
+  for (const CrossShardChannel* c : channels_)
+    if (c->occupancy() != 0) return false;
+  return true;
+}
+
+std::size_t ShardRunner::channel_peak_occupancy() const {
+  std::size_t peak = 0;
+  for (const CrossShardChannel* c : channels_)
+    peak = std::max(peak, c->peak_occupancy());
+  return peak;
+}
+
+std::uint64_t ShardRunner::run_until(Time target) {
+  const std::uint64_t before = dispatched();
+  while (now_ < target) {
+    if (idle()) {
+      // Nothing can ever wake again; just advance every clock to the target
+      // so callers observe the same monotonic time as a monolithic queue.
+      for (EventQueue* q : queues_) q->run_until(target);
+      now_ = target;
+      break;
+    }
+    // Window length: one tick short of the minimum channel lookahead, so an
+    // ingress at the window's first instant (due exactly `lookahead` later)
+    // is still strictly beyond the window end when it is flushed at the
+    // barrier — the destination queue's clock has not passed it.
+    Time la = kTimeInfinity;
+    for (const CrossShardChannel* c : channels_)
+      la = std::min(la, c->lookahead());
+    Time step = target;
+    if (la != kTimeInfinity) {
+      const Time window = std::max<Time>(1, la - 1);
+      // The real safety bound is earliest-possible-ingress + lookahead - 1,
+      // and no shard can dispatch anything (so no channel can see an
+      // ingress) before the earliest pending event across all queues. Basing
+      // the window there instead of at now_ lets short-lookahead runs hop
+      // over idle gaps instead of crawling through them one window at a
+      // time; when events are dense the two bases coincide.
+      Time earliest = kTimeInfinity;
+      for (EventQueue* q : queues_)
+        earliest = std::min(earliest, q->next_event_time());
+      const Time base = earliest == kTimeInfinity ? now_ : std::max(now_, earliest);
+      if (base < target - window) step = base + window;
+    }
+
+    const std::uint64_t t0 = wall_ns();
+    pool_.run(queues_.size(), [&](std::size_t i) {
+      const std::uint64_t s = wall_ns();
+      queues_[i]->run_until(step);
+      busy_ns_[i] = wall_ns() - s;
+    });
+    // Single-threaded barrier phase: move staged crossings into their
+    // destination queues (canonical keys keep dispatch order shard-count
+    // independent).
+    for (CrossShardChannel* c : channels_) crossings_ += c->flush_staged();
+
+    const std::uint64_t round_ns = wall_ns() - t0;
+    for (std::uint64_t b : busy_ns_)
+      stall_ns_ += round_ns > b ? round_ns - b : 0;
+
+    const Time advance = step - now_;
+    const std::uint64_t us = static_cast<std::uint64_t>(advance / kMicrosecond);
+    int bucket = 0;
+    while (bucket + 1 < kHistBuckets && (us >> (bucket + 1)) != 0) ++bucket;
+    ++advance_hist_[bucket];
+    ++sync_rounds_;
+    now_ = step;
+  }
+  return dispatched() - before;
+}
+
+}  // namespace uno

@@ -1,0 +1,118 @@
+// Conservative parallel discrete-event execution: one simulation sharded
+// across cores along its topology seams, bit-identical to sequential.
+//
+// Each shard owns one EventQueue (its own 4-ary heap + timing wheel) and a
+// disjoint partition of the component graph. Shards only interact through
+// CrossShardChannels — boundary links whose propagation delay is the
+// channel's *lookahead*: a packet entering the channel at time t cannot
+// affect the destination shard before t + lookahead. That bound makes a
+// null-message-free bounded-lag scheme safe:
+//
+//   window = min over channels of (lookahead - 1)
+//   repeat: run every shard independently to now + window (in parallel),
+//           then — single-threaded, at the barrier — move everything the
+//           shards staged into their destination queues.
+//
+// The "- 1" is load-bearing: an ingress at the very start of a window comes
+// due exactly `lookahead` later, so windows of length `lookahead - 1` end
+// strictly before any packet staged inside them can be due. Every crossing
+// is therefore scheduled into its destination queue before that queue's
+// clock reaches the delivery time — no shard ever receives an event in its
+// past, and no rollback machinery is needed.
+//
+// Determinism does not come from the barrier protocol alone: crossings are
+// enqueued with *canonical* keys (EventQueue::canonical_seq — channel id +
+// per-channel sequence in a band above all intra-shard sequence numbers), so
+// the (time, seq) dispatch order of every event is a pure function of
+// simulation content. A run with --shards N dispatches the same events at
+// the same times in the same per-shard relative order as --shards 1; see
+// DESIGN.md §14 for the commutation argument.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace uno {
+
+/// A directed boundary crossing between two shards. Implemented by
+/// net::ChannelLink; the sim layer sees only what the synchronization
+/// protocol needs, keeping sim/ free of net/ dependencies.
+class CrossShardChannel {
+ public:
+  virtual ~CrossShardChannel() = default;
+
+  /// Minimum delay between ingress and delivery — the channel's lookahead.
+  /// Read only at barriers (the coordinator), so a fault script changing a
+  /// link latency mid-run is picked up at the next window boundary.
+  virtual Time lookahead() const = 0;
+
+  /// Move everything staged by the source shard into the destination
+  /// shard's queue. Called single-threaded at the barrier. Returns the
+  /// number of crossings moved.
+  virtual std::size_t flush_staged() = 0;
+
+  /// Crossings currently staged or in flight (scheduled but not delivered).
+  virtual std::size_t occupancy() const = 0;
+
+  /// High-water mark of occupancy() over the run.
+  virtual std::size_t peak_occupancy() const = 0;
+};
+
+/// Drives N shard queues through bounded-lag windows. now()/dispatched()
+/// aggregate across shards so callers see one simulation, not N.
+class ShardRunner {
+ public:
+  ShardRunner(std::vector<EventQueue*> queues,
+              std::vector<CrossShardChannel*> channels);
+
+  /// Advance every shard to exactly `target` (all queue clocks land on it),
+  /// dispatching all events with time <= target. Returns events dispatched
+  /// across all shards during this call.
+  std::uint64_t run_until(Time target);
+
+  /// Barrier-time clock: every shard queue agrees on it between calls.
+  Time now() const { return now_; }
+
+  /// Total events dispatched across all shards (the sharded counterpart of
+  /// EventQueue::dispatched — see the contract note at event.hpp's
+  /// run_until).
+  std::uint64_t dispatched() const;
+
+  /// True when no shard has pending events and no channel holds crossings:
+  /// the simulation can never wake again.
+  bool idle() const;
+
+  int shards() const { return static_cast<int>(queues_.size()); }
+
+  /// Synchronization metrics (sim.shard.* in Experiment::snapshot_metrics).
+  std::uint64_t sync_rounds() const { return sync_rounds_; }
+  std::uint64_t crossings_flushed() const { return crossings_; }
+  double stall_seconds() const { return stall_ns_ * 1e-9; }
+  std::size_t channel_peak_occupancy() const;
+
+  /// Horizon-advance histogram: bucket i counts windows whose advance was in
+  /// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond
+  /// advances; the last bucket is open-ended).
+  static constexpr int kHistBuckets = 16;
+  const std::array<std::uint64_t, kHistBuckets>& advance_hist() const {
+    return advance_hist_;
+  }
+
+ private:
+  std::vector<EventQueue*> queues_;
+  std::vector<CrossShardChannel*> channels_;
+  WorkerPool pool_;
+  Time now_ = 0;
+  std::uint64_t sync_rounds_ = 0;
+  std::uint64_t crossings_ = 0;
+  std::uint64_t stall_ns_ = 0;
+  std::array<std::uint64_t, kHistBuckets> advance_hist_{};
+  std::vector<std::uint64_t> busy_ns_;  // per-window scratch, one per shard
+};
+
+}  // namespace uno

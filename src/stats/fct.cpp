@@ -15,6 +15,16 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - t) + values[hi] * t;
 }
 
+void FctCollector::canonicalize() {
+  std::stable_sort(results_.begin(), results_.end(),
+                   [](const FlowResult& a, const FlowResult& b) {
+                     const Time fa = a.start_time + a.completion_time;
+                     const Time fb = b.start_time + b.completion_time;
+                     if (fa != fb) return fa < fb;
+                     return a.id < b.id;
+                   });
+}
+
 FctSummary FctCollector::summarize(Class cls) const {
   return summarize_if([cls](const FlowResult& r) {
     switch (cls) {

@@ -4,17 +4,38 @@
 
 namespace uno {
 
-Pipe InterDcTopology::make_border_pipe(const std::string& name, Time latency) {
+Pipe InterDcTopology::make_border_pipe(EventQueue& eq, const std::string& name,
+                                       Time latency) {
   Pipe p;
-  p.queue = std::make_unique<Queue>(eq_, name + ".q", cfg_.border_queue,
+  p.queue = std::make_unique<Queue>(eq, name + ".q", cfg_.border_queue,
                                     Rng::stream(0xB0DE5ULL, pipe_seq_++));
-  p.link = std::make_unique<Link>(eq_, name + ".l", latency);
+  p.link = std::make_unique<Link>(eq, name + ".l", latency);
+  return p;
+}
+
+ChannelPipe InterDcTopology::make_channel_pipe(int src_dc, int dst_dc,
+                                               const std::string& name,
+                                               Time latency) {
+  // The serializing queue belongs to the source DC's shard; the ChannelLink
+  // spans the seam. pipe_seq_ advances exactly as make_border_pipe's would,
+  // so queue RNG streams are unchanged by the pipe kind.
+  ChannelPipe p;
+  p.queue = std::make_unique<Queue>(atom_eq(src_dc), name + ".q", cfg_.border_queue,
+                                    Rng::stream(0xB0DE5ULL, pipe_seq_++));
+  p.link = std::make_unique<ChannelLink>(atom_eq(src_dc), atom_eq(dst_dc),
+                                         name + ".l", latency, next_channel_id_++);
   return p;
 }
 
 InterDcTopology::InterDcTopology(EventQueue& eq, const InterDcConfig& cfg)
-    : eq_(eq), cfg_(cfg) {
+    : InterDcTopology(std::vector<EventQueue*>{&eq}, cfg) {}
+
+InterDcTopology::InterDcTopology(const std::vector<EventQueue*>& shard_eqs,
+                                 const InterDcConfig& cfg)
+    : atom_eqs_(shard_eqs), cfg_(cfg) {
   assert(cfg_.num_dcs >= 2);
+  assert(atom_eqs_.size() == 1 ||
+         atom_eqs_.size() == static_cast<std::size_t>(cfg_.num_dcs));
   FatTreeConfig ft;
   ft.k = cfg_.k;
   ft.link_rate = cfg_.link_rate;
@@ -23,7 +44,8 @@ InterDcTopology::InterDcTopology(EventQueue& eq, const InterDcConfig& cfg)
   ft.queue = cfg_.queue;
   ft.uplink_queue = cfg_.uplink_queue;
   ft.nic_queue = cfg_.nic_queue;
-  for (int d = 0; d < cfg_.num_dcs; ++d) dcs_.push_back(std::make_unique<FatTreeDC>(eq, d, ft));
+  for (int d = 0; d < cfg_.num_dcs; ++d)
+    dcs_.push_back(std::make_unique<FatTreeDC>(atom_eq(d), d, ft));
 
   core_border_.resize(cfg_.num_dcs);
   border_cross_.resize(cfg_.num_dcs);
@@ -32,17 +54,18 @@ InterDcTopology::InterDcTopology(EventQueue& eq, const InterDcConfig& cfg)
   for (int d = 0; d < cfg_.num_dcs; ++d) {
     const std::string b = "dc" + std::to_string(d) + ".border";
     for (int c = 0; c < ncores; ++c) {
-      core_border_[d].push_back(
-          make_border_pipe(b + ".from_core" + std::to_string(c), cfg_.fabric_link_latency));
-      border_core_[d].push_back(
-          make_border_pipe(b + ".to_core" + std::to_string(c), cfg_.fabric_link_latency));
+      core_border_[d].push_back(make_border_pipe(
+          atom_eq(d), b + ".from_core" + std::to_string(c), cfg_.fabric_link_latency));
+      border_core_[d].push_back(make_border_pipe(
+          atom_eq(d), b + ".to_core" + std::to_string(c), cfg_.fabric_link_latency));
     }
     for (int peer = 0; peer < cfg_.num_dcs; ++peer) {
       for (int j = 0; j < cfg_.cross_links; ++j) {
         if (peer == d) {
           border_cross_[d].emplace_back();  // diagonal: no self links
         } else {
-          border_cross_[d].push_back(make_border_pipe(
+          border_cross_[d].push_back(make_channel_pipe(
+              d, peer,
               b + ".cross" + std::to_string(peer) + "." + std::to_string(j),
               cfg_.cross_link_latency));
         }
@@ -161,10 +184,23 @@ std::vector<Queue*> InterDcTopology::all_queues() const {
     auto q = dc->all_queues();
     out.insert(out.end(), q.begin(), q.end());
   }
-  for (const auto& side : {&core_border_, &border_cross_, &border_core_})
+  for (const auto& side : {&core_border_, &border_core_})
     for (const auto& per_dc : *side)
       for (const Pipe& p : per_dc)
         if (p.queue) out.push_back(p.queue.get());
+  for (const auto& per_dc : border_cross_)
+    for (const ChannelPipe& p : per_dc)
+      if (p.queue) out.push_back(p.queue.get());
+  return out;
+}
+
+std::vector<Queue*> InterDcTopology::atom_queues(int d) const {
+  std::vector<Queue*> out = dcs_[d]->all_queues();
+  for (const auto* side : {&core_border_, &border_core_})
+    for (const Pipe& p : (*side)[d])
+      if (p.queue) out.push_back(p.queue.get());
+  for (const ChannelPipe& p : border_cross_[d])
+    if (p.queue) out.push_back(p.queue.get());
   return out;
 }
 
@@ -180,10 +216,18 @@ std::vector<Link*> InterDcTopology::all_links() const {
     auto l = dc->all_links();
     out.insert(out.end(), l.begin(), l.end());
   }
-  for (const auto& side : {&core_border_, &border_cross_, &border_core_})
+  for (const auto& side : {&core_border_, &border_core_})
     for (const auto& per_dc : *side)
       for (const Pipe& p : per_dc)
         if (p.link) out.push_back(p.link.get());
+  return out;
+}
+
+std::vector<ChannelLink*> InterDcTopology::all_channels() const {
+  std::vector<ChannelLink*> out;
+  for (const auto& per_dc : border_cross_)
+    for (const ChannelPipe& p : per_dc)
+      if (p.link) out.push_back(p.link.get());
   return out;
 }
 
@@ -191,6 +235,7 @@ std::uint64_t InterDcTopology::total_drops() const {
   std::uint64_t drops = 0;
   for (const Queue* q : all_queues()) drops += q->drops();
   for (const Link* l : all_links()) drops += l->dropped();
+  for (const ChannelLink* c : all_channels()) drops += c->dropped();
   return drops;
 }
 

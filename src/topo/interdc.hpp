@@ -12,10 +12,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/channel.hpp"
 #include "topo/fattree.hpp"
 #include "topo/pathset.hpp"
 
 namespace uno {
+
+/// A border-crossing pipe: serializing queue (owned by the source DC's
+/// shard) feeding a ChannelLink that spans the shard seam.
+struct ChannelPipe {
+  std::unique_ptr<Queue> queue;
+  std::unique_ptr<ChannelLink> link;
+
+  void append_to(Route& r) const {
+    r.hops.push_back(queue.get());
+    r.hops.push_back(link.get());
+  }
+};
 
 struct InterDcConfig {
   int k = 8;      // fat-tree arity per DC
@@ -55,6 +68,12 @@ class InterDcTopology {
  public:
   InterDcTopology(EventQueue& eq, const InterDcConfig& cfg);
 
+  /// Sharded form: one queue per DC (partition atoms are whole DCs, each
+  /// including its border tier — the seam is exactly the cross links, which
+  /// become ChannelLinks between the two queues). A single-element vector is
+  /// the monolithic layout; sizes other than 1 or num_dcs are rejected.
+  InterDcTopology(const std::vector<EventQueue*>& shard_eqs, const InterDcConfig& cfg);
+
   const InterDcConfig& config() const { return cfg_; }
 
   int num_dcs() const { return cfg_.num_dcs; }
@@ -80,10 +99,11 @@ class InterDcTopology {
 
   /// Directed cross-DC link j from DC `dc` toward DC `peer` (failure
   /// injection, Fig 13A). The two-argument form assumes the paper's two-DC
-  /// setup and targets the other datacenter.
-  Link& cross_link(int dc, int peer, int j) { return *cross_pipe(dc, peer, j).link; }
+  /// setup and targets the other datacenter. Cross links are ChannelLinks —
+  /// shard-seam endpoints with a Link-compatible control surface.
+  ChannelLink& cross_link(int dc, int peer, int j) { return *cross_pipe(dc, peer, j).link; }
   Queue& cross_queue(int dc, int peer, int j) { return *cross_pipe(dc, peer, j).queue; }
-  Link& cross_link(int dc, int j) { return cross_link(dc, dc == 0 ? 1 : 0, j); }
+  ChannelLink& cross_link(int dc, int j) { return cross_link(dc, dc == 0 ? 1 : 0, j); }
   Queue& cross_queue(int dc, int j) { return cross_queue(dc, dc == 0 ? 1 : 0, j); }
   int cross_link_count() const { return cfg_.cross_links; }
 
@@ -92,9 +112,16 @@ class InterDcTopology {
   Link& border_core_link(int dc, int c) { return *border_core_[dc][c].link; }
 
   std::vector<Queue*> all_queues() const;
+  /// Every queue living in DC `d`'s partition atom (fabric + border pipes +
+  /// the DC's outbound cross-link serializers), in deterministic build order.
+  /// Used to register per-shard trace components: atoms own disjoint queue
+  /// sets whose union is all_queues().
+  std::vector<Queue*> atom_queues(int d) const;
   /// Source-side ports of DC `dc` (uplinks + core->border): the QCN scope.
   std::vector<Queue*> source_side_queues(int dc) const;
   std::vector<Link*> all_links() const;
+  /// Every cross-DC ChannelLink, in deterministic build order.
+  std::vector<ChannelLink*> all_channels() const;
 
   /// Total packets dropped anywhere in the fabric (conservation checks).
   std::uint64_t total_drops() const;
@@ -104,13 +131,22 @@ class InterDcTopology {
  private:
   PathSet build_paths(int src, int dst);
   void build_forward_routes(int src, int dst, std::vector<Route>& out);
-  Pipe make_border_pipe(const std::string& name, Time latency);
+  Pipe make_border_pipe(EventQueue& eq, const std::string& name, Time latency);
+  ChannelPipe make_channel_pipe(int src_dc, int dst_dc, const std::string& name,
+                                Time latency);
 
-  EventQueue& eq_;
+  /// The shard queue owning DC `d`'s components (the single shared queue in
+  /// a monolithic build).
+  EventQueue& atom_eq(int d) const {
+    return *atom_eqs_[atom_eqs_.size() == 1 ? 0 : static_cast<std::size_t>(d)];
+  }
+
+  std::vector<EventQueue*> atom_eqs_;
   InterDcConfig cfg_;
   std::uint64_t pipe_seq_ = 1000000;  // distinct RNG streams from fat-tree pipes
+  std::uint16_t next_channel_id_ = 0;
 
-  Pipe& cross_pipe(int dc, int peer, int j) {
+  ChannelPipe& cross_pipe(int dc, int peer, int j) {
     return border_cross_[dc][static_cast<std::size_t>(peer) * cfg_.cross_links + j];
   }
 
@@ -118,8 +154,8 @@ class InterDcTopology {
   // WAN plumbing, indexed by [dc][...]:
   std::vector<std::vector<Pipe>> core_border_;  // core c -> own border
   // own border -> border of DC `peer`, link j, laid out peer-major with
-  // empty Pipes on the diagonal (no self links).
-  std::vector<std::vector<Pipe>> border_cross_;
+  // empty pipes on the diagonal (no self links).
+  std::vector<std::vector<ChannelPipe>> border_cross_;
   std::vector<std::vector<Pipe>> border_core_;  // own border -> core c (arrivals side)
 
   std::unordered_map<std::uint64_t, std::unique_ptr<PathSet>> path_cache_;

@@ -458,10 +458,17 @@ void FlowReceiver::on_event(std::uint64_t) {
 Flow::Flow(EventQueue& eq, Host& src_host, Host& dst_host, const FlowParams& params,
            const PathSet* paths, std::unique_ptr<CongestionControl> cc,
            std::unique_ptr<LoadBalancer> lb, FlowSender::CompletionCallback on_complete)
+    : Flow(eq, eq, src_host, dst_host, params, paths, std::move(cc), std::move(lb),
+           std::move(on_complete)) {}
+
+Flow::Flow(EventQueue& snd_eq, EventQueue& rcv_eq, Host& src_host, Host& dst_host,
+           const FlowParams& params, const PathSet* paths,
+           std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
+           FlowSender::CompletionCallback on_complete)
     : src_host_(src_host), dst_host_(dst_host), id_(params.id) {
-  receiver_ = std::make_unique<FlowReceiver>(eq, params, paths);
-  sender_ = std::make_unique<FlowSender>(eq, params, paths, std::move(cc), std::move(lb),
-                                         std::move(on_complete));
+  receiver_ = std::make_unique<FlowReceiver>(rcv_eq, params, paths);
+  sender_ = std::make_unique<FlowSender>(snd_eq, params, paths, std::move(cc),
+                                         std::move(lb), std::move(on_complete));
   src_host_.register_flow(id_, sender_.get());
   dst_host_.register_flow(id_, receiver_.get());
 }

@@ -287,6 +287,12 @@ class Flow {
   Flow(EventQueue& eq, Host& src_host, Host& dst_host, const FlowParams& params,
        const PathSet* paths, std::unique_ptr<CongestionControl> cc,
        std::unique_ptr<LoadBalancer> lb, FlowSender::CompletionCallback on_complete = nullptr);
+  /// Sharded form: the sender lives on the source host's shard queue, the
+  /// receiver on the destination host's (the same object when not sharding).
+  Flow(EventQueue& snd_eq, EventQueue& rcv_eq, Host& src_host, Host& dst_host,
+       const FlowParams& params, const PathSet* paths,
+       std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
+       FlowSender::CompletionCallback on_complete = nullptr);
   ~Flow();
 
   Flow(const Flow&) = delete;
@@ -300,6 +306,11 @@ class Flow {
   void set_trace(TraceContext tc) {
     sender_->set_trace(tc);
     receiver_->set_trace(tc);
+  }
+  /// Sharded form: each endpoint emits into its own shard's tracer.
+  void set_trace(TraceContext sender_tc, TraceContext receiver_tc) {
+    sender_->set_trace(sender_tc);
+    receiver_->set_trace(receiver_tc);
   }
 
  private:

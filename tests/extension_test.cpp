@@ -78,7 +78,7 @@ TEST(Annulus, NotificationsFlowUnderUplinkCongestion) {
   for (int s = 0; s < 4; ++s) ex.spawn({s, 16 + 8 + s, 8 << 20, 0, true});
   ex.run_until(10 * kMillisecond);
   ASSERT_NE(ex.qcn_dispatcher(), nullptr);
-  EXPECT_GT(ex.qcn_dispatcher()->delivered(), 0u);
+  EXPECT_GT(ex.qcn_delivered(), 0u);
   ASSERT_TRUE(ex.run_to_completion(2 * kSecond));
 }
 
@@ -91,7 +91,7 @@ TEST(Annulus, InertOnNonBlockingFabric) {
   Experiment ex(cfg);
   ex.spawn({0, 16 + 2, 1 << 20, 0, true});
   ASSERT_TRUE(ex.run_to_completion(100 * kMillisecond));
-  EXPECT_EQ(ex.qcn_dispatcher()->delivered(), 0u);
+  EXPECT_EQ(ex.qcn_delivered(), 0u);
 }
 
 }  // namespace

@@ -180,8 +180,8 @@ TEST(FaultInjector, UnmatchedTargetsAreReported) {
 TEST(FaultInjector, DownUpTimeline) {
   TopoFixture f;
   FaultInjector inj(f.eq, *f.topo, f.plan("1ms down border:0; 3ms up border:0"), 1);
-  Link& fwd = f.topo->cross_link(0, 0);
-  Link& rev = f.topo->cross_link(1, 0);
+  auto& fwd = f.topo->cross_link(0, 0);
+  auto& rev = f.topo->cross_link(1, 0);
   EXPECT_TRUE(fwd.up() && rev.up());
   f.eq.run_until(2 * kMillisecond);
   EXPECT_FALSE(fwd.up());
@@ -207,7 +207,7 @@ TEST(FaultInjector, FlapFollowsDutyCycle) {
   // 1 ms period, 25% duty: down for 250 us, up for 750 us, from t=1ms to 4ms.
   FaultInjector inj(f.eq, *f.topo,
                     f.plan("1ms flap border:0 period=1ms duty=0.25 until=4ms"), 1);
-  Link& l = f.topo->cross_link(0, 0);
+  auto& l = f.topo->cross_link(0, 0);
   auto probe = [&](Time t) {
     f.eq.run_until(t);
     return l.up();
@@ -224,7 +224,7 @@ TEST(FaultInjector, FlapFollowsDutyCycle) {
 
 TEST(FaultInjector, LatencyInflationRestores) {
   TopoFixture f;
-  Link& l = f.topo->cross_link(0, 0);
+  auto& l = f.topo->cross_link(0, 0);
   const Time base = l.latency();
   FaultInjector inj(f.eq, *f.topo,
                     f.plan("1ms latency border:0 factor=3 add=5us until=2ms"), 1);
@@ -237,7 +237,7 @@ TEST(FaultInjector, LatencyInflationRestores) {
 
 TEST(FaultInjector, LossSpikeSwapsAndRestoresModel) {
   TopoFixture f;
-  Link& l = f.topo->cross_link(0, 0);
+  auto& l = f.topo->cross_link(0, 0);
   auto original = std::make_unique<BernoulliLoss>(0.0, Rng(1));
   const LossModel* original_ptr = original.get();
   l.set_loss_model(std::move(original));

@@ -89,10 +89,13 @@ void check_route(InterDcTopology& topo, const Route& r, int dst) {
   ASSERT_GE(r.hops.size(), 3u);
   for (PacketSink* h : r.hops) ASSERT_NE(h, nullptr);
   EXPECT_EQ(r.hops.back(), &topo.host(dst));
-  // Pipes alternate queue then link: even index queue, odd link.
+  // Pipes alternate queue then link: even index queue, odd link. Cross-DC
+  // pipes carry a ChannelLink (the shard-seam flavor) instead of a Link.
   for (std::size_t i = 0; i + 1 < r.hops.size(); i += 2) {
     EXPECT_NE(dynamic_cast<Queue*>(r.hops[i]), nullptr) << "hop " << i;
-    EXPECT_NE(dynamic_cast<Link*>(r.hops[i + 1]), nullptr) << "hop " << i + 1;
+    EXPECT_TRUE(dynamic_cast<Link*>(r.hops[i + 1]) != nullptr ||
+                dynamic_cast<ChannelLink*>(r.hops[i + 1]) != nullptr)
+        << "hop " << i + 1;
   }
 }
 
@@ -181,8 +184,10 @@ TEST(InterDc, PropagationDelayMatchesConfiguredRtt) {
 
   const PathSet& inter = topo.paths(0, 16 + 12);
   Time wan = 0;
-  for (PacketSink* h : inter.forward[0].hops)
+  for (PacketSink* h : inter.forward[0].hops) {
     if (auto* l = dynamic_cast<Link*>(h)) wan += l->latency();
+    if (auto* c = dynamic_cast<ChannelLink*>(h)) wan += c->latency();
+  }
   EXPECT_EQ(wan, cfg.inter_base_rtt() / 2);
 }
 

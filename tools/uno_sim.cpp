@@ -130,6 +130,7 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   ExperimentConfig cfg;
   cfg.scheme = parse_scheme(opts.str("scheme"), scheme_ok);
   cfg.seed = rp.seed;
+  cfg.shards = static_cast<int>(opts.num("shards"));
   cfg.uno.fattree_k = static_cast<int>(opts.num("k"));
   cfg.uno.num_dcs = static_cast<int>(opts.num("dcs"));
   cfg.uno.cross_links = static_cast<int>(opts.num("cross-links"));
@@ -242,7 +243,7 @@ RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faul
   row.inter = ex.fct().summarize(FctCollector::Class::kInter);
   row.drops = ex.topo().total_drops();
   row.trims = ex.topo().total_trims();
-  row.sim_ms = to_milliseconds(ex.eq().now());
+  row.sim_ms = to_milliseconds(ex.now());
   const std::string trace_file =
       obs.trace_file.empty() ? std::string{} : indexed_path(obs.trace_file, index);
   const std::string metrics_file =
@@ -400,6 +401,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opts.num("shards") < 0) {
+    std::fprintf(stderr, "--shards must be >= 0 (0 = one shard per core)\n");
+    return 2;
+  }
+
   // --fail-links is sugar for a permanent down event at t=0 on each link.
   const int fails = std::min(static_cast<int>(opts.num("fail-links")),
                              static_cast<int>(opts.num("cross-links")));
@@ -449,9 +455,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms\n",
+  std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms",
               cfg.scheme.name.c_str(), opts.str("workload").c_str(), specs.size(),
               hosts.total(), to_milliseconds(cfg.uno.inter_rtt));
+  if (cfg.shards != 1) {
+    std::printf(" shards=%d", ex.shards());
+    if (ex.shards() == 1)
+      std::printf(" (fault plans pin the run to one shard)");
+  }
+  std::printf("\n");
   ex.spawn_all(specs);
 
   // With a fault plan active, track recovery: goodput per flow, sampled
@@ -486,7 +498,7 @@ int main(int argc, char** argv) {
               ex.flows_completed(), ex.flows_spawned(), done ? "" : " (DEADLINE HIT)",
               static_cast<unsigned long long>(ex.topo().total_drops()),
               static_cast<unsigned long long>(ex.topo().total_trims()),
-              to_milliseconds(ex.eq().now()));
+              to_milliseconds(ex.now()));
 
   if (tracker) {
     const ResilienceSummary rs = tracker->summarize();

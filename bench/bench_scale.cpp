@@ -1,0 +1,468 @@
+// bench_scale — memory and throughput at scale: many flows, many DCs.
+//
+// Where bench_perf tracks the event core's ns/event on fixed scenarios,
+// bench_scale tracks how the simulator *grows*: bytes of flow state per
+// flow, path-table footprint as the host count and DC count rise, and the
+// PDES speedup on a >2-DC mesh. Scenarios:
+//
+//   paths    the SAME permutation run under --paths flyweight vs legacy:
+//            asserts the two runs are bit-identical (events, final clock,
+//            FCT hash) and reports the path-table bytes each mode peaks at
+//   flows    flow churn: repeated waves of short flows through one
+//            experiment. Reports slab bytes/flow and asserts the slab pools
+//            stop hitting the heap once warm (steady-state zero-alloc)
+//   scale    a hosts-per-DC x DC-count grid of permutation runs recording
+//            events/s, p99 FCT, path bytes, and process RSS per cell
+//   shards   ONE 4-DC permutation at --shards 1/2/4: asserts all three
+//            digests are bit-identical and reports the wall-clock speedups
+//            (needs >= 4 real cores to show > 1x; hw_threads is recorded)
+//
+//   bench_scale                 full run, writes BENCH_SCALE.json
+//   bench_scale --quick         CI smoke: smaller cells, same hard gates
+//   bench_scale --only a,b      run only the named scenarios
+//   bench_scale --out FILE      JSON output path ("" = skip)
+//
+// Exit code: 0 when every determinism/memory gate holds, 1 otherwise.
+// Timing numbers (events/s, speedup) are reported but never gated here —
+// CI applies its own retry policy to those.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "workload/traffic.hpp"
+
+using namespace uno;
+
+namespace {
+
+double now_seconds() {
+  using clk = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clk::now().time_since_epoch()).count();
+}
+
+/// Current VmRSS in KiB (0 where /proc is unavailable).
+std::uint64_t rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr)
+    if (std::sscanf(line, "VmRSS: %llu kB", reinterpret_cast<unsigned long long*>(&kib)) == 1)
+      break;
+  std::fclose(f);
+  return kib;
+}
+
+/// Bit-identity fingerprint of one run (same shape as bench_perf's).
+struct Digest {
+  std::uint64_t events = 0;
+  Time sim_end = 0;
+  std::uint64_t fct_hash = 0;
+  bool operator==(const Digest&) const = default;
+};
+
+Digest digest_of(Experiment& ex) {
+  Digest d;
+  d.events = ex.events_dispatched();
+  d.sim_end = ex.now();
+  for (const FlowResult& r : ex.fct().results())
+    d.fct_hash = d.fct_hash * 1315423911ull +
+                 static_cast<std::uint64_t>(r.completion_time);
+  return d;
+}
+
+// ---------------------------------------------------------------- paths --
+
+struct PathModeRun {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t pairs_built = 0;
+  std::uint64_t routes_built = 0;
+  std::uint64_t peak_slab_bytes = 0;
+  Digest digest;
+};
+
+struct PathsAbResult {
+  PathModeRun flyweight, legacy;
+  bool identical = false;
+  double bytes_ratio() const {
+    return flyweight.peak_slab_bytes > 0
+               ? static_cast<double>(legacy.peak_slab_bytes) /
+                     static_cast<double>(flyweight.peak_slab_bytes)
+               : 0;
+  }
+};
+
+PathModeRun run_paths_mode(bool quick, PathMode mode) {
+  ExperimentConfig cfg;
+  cfg.seed = bench::seed();
+  cfg.paths = mode;
+  if (quick) cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  const std::uint64_t bytes = (quick ? 64 : 512) * 1024ull;
+  // Bidirectional permutation: every pair flows both ways, so the flyweight
+  // serves (a,b) and (b,a) from one slab where legacy materializes two.
+  auto specs = make_permutation(bench::hosts_of(ex), bytes, cfg.seed);
+  const std::size_t n = specs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowSpec rev = specs[i];
+    std::swap(rev.src, rev.dst);
+    specs.push_back(rev);
+  }
+  ex.spawn_all(specs);
+  const double t0 = now_seconds();
+  ex.run_to_completion(20 * kSecond);
+  PathModeRun r;
+  r.wall_s = now_seconds() - t0;
+  r.events = ex.events_dispatched();
+  const PathStore& ps = ex.topo().path_store();
+  r.pairs_built = ps.pairs_built();
+  r.routes_built = ps.routes_built();
+  r.peak_slab_bytes = ps.peak_slab_bytes();
+  r.digest = digest_of(ex);
+  return r;
+}
+
+PathsAbResult run_paths_ab(bool quick) {
+  PathsAbResult r;
+  r.flyweight = run_paths_mode(quick, PathMode::kFlyweight);
+  r.legacy = run_paths_mode(quick, PathMode::kLegacy);
+  r.identical = r.flyweight.digest == r.legacy.digest;
+  return r;
+}
+
+// ---------------------------------------------------------------- flows --
+
+struct ChurnResult {
+  int waves = 0;
+  std::size_t flows_per_wave = 0;
+  std::size_t flows_total = 0;
+  std::uint64_t slab_peak_bytes = 0;     // pool peak across the whole run
+  std::uint64_t heap_allocs_warm = 0;    // slab heap misses after wave 1
+  std::uint64_t heap_allocs_final = 0;   // ... after the last wave
+  std::uint64_t path_evictions = 0;
+  std::uint64_t path_revived = 0;
+  std::uint64_t slabs_reused = 0;
+  double bytes_per_flow = 0;             // slab peak / peak concurrent flows
+  bool steady_state_clean = false;       // no heap growth after warm-up
+};
+
+/// Waves of short flows through ONE experiment: each wave spawns
+/// `flows_per_wave` 64 KiB flows in staggered intra-DC permutation rounds,
+/// runs them to completion, and lets the completion path release their slab
+/// state back to the pools. After two warm-up waves the pools are warm and
+/// the run must not touch the heap again — the zero-steady-state-allocation
+/// contract. The workload is deliberately congestion-free (permutation
+/// rounds, generous stagger): retransmit rings allocate lazily, so a lossy
+/// wave could legitimately demand a ring size the pool has never seen —
+/// that would measure congestion variance, not a recycling leak.
+ChurnResult run_churn(bool quick) {
+  ExperimentConfig cfg;
+  cfg.seed = bench::seed();
+  cfg.fattree_k = 4;  // 16 hosts/DC: churn stresses flow state, not the fabric
+  Experiment ex(cfg);
+  const HostSpace hosts = bench::hosts_of(ex);
+  ChurnResult r;
+  r.waves = quick ? 4 : 8;
+  r.flows_per_wave = quick ? 256 : 4096;
+
+  auto heap_allocs = [&] {
+    MetricRegistry m;
+    ex.snapshot_metrics(m);
+    return m.counter("mem.flow.slab_heap_allocs");
+  };
+
+  std::uint64_t rot = 0;
+  for (int w = 0; w < r.waves; ++w) {
+    std::vector<FlowSpec> specs;
+    specs.reserve(r.flows_per_wave);
+    for (std::size_t i = 0; i < r.flows_per_wave; ++i, ++rot) {
+      const int per_dc = hosts.hosts_per_dc;
+      const int dc = static_cast<int>(rot) % hosts.num_dcs;
+      const int local = static_cast<int>(rot / hosts.num_dcs) % per_dc;
+      const int shift = 1 + static_cast<int>(rot / hosts.total()) % (per_dc - 1);
+      FlowSpec s;
+      s.src = dc * per_dc + local;
+      s.dst = dc * per_dc + (local + shift) % per_dc;
+      s.size_bytes = 64 * 1024;
+      s.start_time = ex.now() + static_cast<Time>(i / hosts.total()) * 100 * kMicrosecond;
+      s.interdc = false;
+      specs.push_back(s);
+    }
+    ex.spawn_all(specs);
+    ex.run_to_completion(ex.now() + 20 * kSecond);
+    if (w == 1) r.heap_allocs_warm = heap_allocs();
+  }
+  r.heap_allocs_final = heap_allocs();
+  r.flows_total = ex.flows_spawned();
+
+  MetricRegistry m;
+  ex.snapshot_metrics(m);
+  r.slab_peak_bytes = m.counter("mem.flow.slab_peak_bytes");
+  r.path_evictions = m.counter("topo.paths.evictions");
+  r.path_revived = m.counter("topo.paths.pairs_revived");
+  r.slabs_reused = m.counter("topo.paths.slabs_reused");
+  r.bytes_per_flow =
+      static_cast<double>(r.slab_peak_bytes) / static_cast<double>(r.flows_per_wave);
+  r.steady_state_clean = r.heap_allocs_final == r.heap_allocs_warm;
+  return r;
+}
+
+// ---------------------------------------------------------------- scale --
+
+struct ScaleCell {
+  int k = 0;
+  int dcs = 0;
+  int hosts = 0;
+  std::size_t flows = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  double p99_us = 0;
+  std::uint64_t path_peak_bytes = 0;
+  std::uint64_t rss_kib = 0;
+};
+
+ScaleCell run_scale_cell(bool quick, int k, int dcs) {
+  ExperimentConfig cfg;
+  cfg.seed = bench::seed();
+  cfg.fattree_k = k;
+  cfg.uno.num_dcs = dcs;
+  Experiment ex(cfg);
+  ScaleCell c;
+  c.k = k;
+  c.dcs = dcs;
+  c.hosts = ex.topo().num_hosts();
+  const std::uint64_t bytes = (quick ? 32 : 128) * 1024ull;
+  auto specs = make_permutation(bench::hosts_of(ex), bytes, cfg.seed);
+  c.flows = specs.size();
+  ex.spawn_all(specs);
+  const double t0 = now_seconds();
+  ex.run_to_completion(30 * kSecond);
+  c.wall_s = now_seconds() - t0;
+  c.events = ex.events_dispatched();
+  c.events_per_sec = c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0;
+  c.p99_us = ex.fct().summarize().p99_us;
+  c.path_peak_bytes = ex.topo().path_store().peak_slab_bytes();
+  c.rss_kib = ::rss_kib();
+  return c;
+}
+
+std::vector<ScaleCell> run_scale(bool quick) {
+  std::vector<std::pair<int, int>> grid;  // (k, dcs)
+  if (quick)
+    grid = {{4, 2}, {4, 4}};
+  else
+    grid = {{4, 2}, {4, 4}, {8, 2}, {8, 4}, {4, 8}};
+  std::vector<ScaleCell> cells;
+  for (auto [k, dcs] : grid) cells.push_back(run_scale_cell(quick, k, dcs));
+  return cells;
+}
+
+// --------------------------------------------------------------- shards --
+
+struct ShardsResult {
+  unsigned hw_threads = 0;
+  std::uint64_t events = 0;
+  double wall_s[3] = {0, 0, 0};  // shards 1, 2, 4
+  bool deterministic = false;
+  double speedup(int i) const { return wall_s[i] > 0 ? wall_s[0] / wall_s[i] : 0; }
+};
+
+/// The SAME 4-DC permutation at shard counts 1, 2, 4 (the mesh partitions
+/// into 4 DC atoms; DESIGN.md §14). All three runs must produce identical
+/// digests — the whole point of conservative PDES along the WAN seams.
+ShardsResult run_shards(bool quick) {
+  ShardsResult r;
+  r.hw_threads = std::thread::hardware_concurrency();
+  const int counts[3] = {1, 2, 4};
+  Digest digests[3];
+  for (int i = 0; i < 3; ++i) {
+    ExperimentConfig cfg;
+    cfg.seed = bench::seed();
+    cfg.fattree_k = quick ? 4 : 8;
+    cfg.uno.num_dcs = 4;
+    cfg.shards = counts[i];
+    Experiment ex(cfg);
+    const std::uint64_t bytes = (quick ? 64 : 512) * 1024ull;
+    ex.spawn_all(make_permutation(bench::hosts_of(ex), bytes, cfg.seed));
+    const double t0 = now_seconds();
+    ex.run_to_completion(30 * kSecond);
+    r.wall_s[i] = now_seconds() - t0;
+    digests[i] = digest_of(ex);
+  }
+  r.events = digests[0].events;
+  r.deterministic = digests[1] == digests[0] && digests[2] == digests[0];
+  return r;
+}
+
+// ----------------------------------------------------------------- main --
+
+void write_json(const std::string& path, bool quick, const PathsAbResult& paths,
+                const ChurnResult& churn, const std::vector<ScaleCell>& cells,
+                const ShardsResult& shards) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"quick\": %s,\n  \"seed\": %llu,\n",
+               quick ? "true" : "false",
+               static_cast<unsigned long long>(bench::seed()));
+  std::fprintf(f,
+               "  \"paths\": {\"identical\": %s, \"bytes_ratio\": %.2f,\n"
+               "    \"flyweight\": {\"wall_s\": %.4f, \"pairs_built\": %llu, "
+               "\"routes_built\": %llu, \"peak_slab_bytes\": %llu},\n"
+               "    \"legacy\": {\"wall_s\": %.4f, \"pairs_built\": %llu, "
+               "\"routes_built\": %llu, \"peak_slab_bytes\": %llu}},\n",
+               paths.identical ? "true" : "false", paths.bytes_ratio(),
+               paths.flyweight.wall_s,
+               static_cast<unsigned long long>(paths.flyweight.pairs_built),
+               static_cast<unsigned long long>(paths.flyweight.routes_built),
+               static_cast<unsigned long long>(paths.flyweight.peak_slab_bytes),
+               paths.legacy.wall_s,
+               static_cast<unsigned long long>(paths.legacy.pairs_built),
+               static_cast<unsigned long long>(paths.legacy.routes_built),
+               static_cast<unsigned long long>(paths.legacy.peak_slab_bytes));
+  std::fprintf(f,
+               "  \"flows\": {\"waves\": %d, \"flows_per_wave\": %zu, "
+               "\"flows_total\": %zu, \"slab_peak_bytes\": %llu, "
+               "\"bytes_per_flow\": %.0f, \"heap_allocs_warm\": %llu, "
+               "\"heap_allocs_final\": %llu, \"steady_state_clean\": %s, "
+               "\"path_evictions\": %llu, \"path_revived\": %llu, "
+               "\"slabs_reused\": %llu},\n",
+               churn.waves, churn.flows_per_wave, churn.flows_total,
+               static_cast<unsigned long long>(churn.slab_peak_bytes),
+               churn.bytes_per_flow,
+               static_cast<unsigned long long>(churn.heap_allocs_warm),
+               static_cast<unsigned long long>(churn.heap_allocs_final),
+               churn.steady_state_clean ? "true" : "false",
+               static_cast<unsigned long long>(churn.path_evictions),
+               static_cast<unsigned long long>(churn.path_revived),
+               static_cast<unsigned long long>(churn.slabs_reused));
+  std::fprintf(f, "  \"scale\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScaleCell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"k\": %d, \"dcs\": %d, \"hosts\": %d, \"flows\": %zu, "
+                 "\"events\": %llu, \"wall_s\": %.4f, \"events_per_sec\": %.0f, "
+                 "\"p99_us\": %.1f, \"path_peak_bytes\": %llu, \"rss_kib\": %llu}%s\n",
+                 c.k, c.dcs, c.hosts, c.flows,
+                 static_cast<unsigned long long>(c.events), c.wall_s, c.events_per_sec,
+                 c.p99_us, static_cast<unsigned long long>(c.path_peak_bytes),
+                 static_cast<unsigned long long>(c.rss_kib),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"shards\": {\"dcs\": 4, \"hw_threads\": %u, \"events\": %llu, "
+               "\"wall_1_s\": %.4f, \"wall_2_s\": %.4f, \"wall_4_s\": %.4f, "
+               "\"speedup_2\": %.2f, \"speedup_4\": %.2f, \"deterministic\": %s}\n}\n",
+               shards.hw_threads, static_cast<unsigned long long>(shards.events),
+               shards.wall_s[0], shards.wall_s[1], shards.wall_s[2], shards.speedup(1),
+               shards.speedup(2), shards.deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_SCALE.json";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--only") && i + 1 < argc) {
+      only = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_scale [--quick] [--only a,b] [--out FILE]\n");
+      return 2;
+    }
+  }
+  const auto wanted = [&](const char* name) {
+    return only.empty() || only.find(name) != std::string::npos;
+  };
+  // Slab state per flow must stay bounded: 64 KiB flows carry ~16 packets of
+  // PktMeta + two rings + two block bitmaps, well under this even after
+  // power-of-two size-class rounding. A regression that hangs per-packet
+  // state off the flow (or stops releasing it) blows through the ceiling.
+  constexpr double kBytesPerFlowCeiling = 16 * 1024.0;
+
+  bench::print_header("bench_scale",
+                      quick ? "memory + scale trajectory (quick)"
+                            : "memory + scale trajectory");
+  bool ok = true;
+
+  PathsAbResult paths;
+  if (wanted("paths")) {
+    paths = run_paths_ab(quick);
+    std::printf("paths: flyweight %.3fs / %llu B peak, legacy %.3fs / %llu B peak "
+                "(%.2fx more), %s\n",
+                paths.flyweight.wall_s,
+                static_cast<unsigned long long>(paths.flyweight.peak_slab_bytes),
+                paths.legacy.wall_s,
+                static_cast<unsigned long long>(paths.legacy.peak_slab_bytes),
+                paths.bytes_ratio(),
+                paths.identical ? "bit-identical" : "DIGESTS DIVERGED");
+    ok &= paths.identical;
+  }
+
+  ChurnResult churn;
+  if (wanted("flows")) {
+    churn = run_churn(quick);
+    std::printf("flows: %zu flows in %d waves, %.0f B/flow slab peak, heap allocs "
+                "%llu warm -> %llu final (%s), %llu evictions / %llu revived / "
+                "%llu slabs reused\n",
+                churn.flows_total, churn.waves, churn.bytes_per_flow,
+                static_cast<unsigned long long>(churn.heap_allocs_warm),
+                static_cast<unsigned long long>(churn.heap_allocs_final),
+                churn.steady_state_clean ? "clean" : "HEAP GREW AFTER WARM-UP",
+                static_cast<unsigned long long>(churn.path_evictions),
+                static_cast<unsigned long long>(churn.path_revived),
+                static_cast<unsigned long long>(churn.slabs_reused));
+    ok &= churn.steady_state_clean;
+    if (churn.bytes_per_flow > kBytesPerFlowCeiling) {
+      std::printf("flows: bytes/flow %.0f EXCEEDS ceiling %.0f\n", churn.bytes_per_flow,
+                  kBytesPerFlowCeiling);
+      ok = false;
+    }
+  }
+
+  std::vector<ScaleCell> cells;
+  if (wanted("scale")) {
+    cells = run_scale(quick);
+    Table t({"k", "DCs", "hosts", "flows", "events", "Mev/s", "p99 us", "path KiB",
+             "RSS MiB"});
+    for (const ScaleCell& c : cells)
+      t.add_row({std::to_string(c.k), std::to_string(c.dcs), std::to_string(c.hosts),
+                 std::to_string(c.flows), std::to_string(c.events),
+                 Table::fmt(c.events_per_sec / 1e6, 3), Table::fmt(c.p99_us, 1),
+                 Table::fmt(static_cast<double>(c.path_peak_bytes) / 1024.0, 1),
+                 Table::fmt(static_cast<double>(c.rss_kib) / 1024.0, 1)});
+    t.print("scale grid");
+  }
+
+  ShardsResult shards;
+  if (wanted("shards")) {
+    shards = run_shards(quick);
+    std::printf("shards: 4-DC perm x1 %.3fs, x2 %.3fs (%.2fx), x4 %.3fs (%.2fx), "
+                "%u hw threads — %s\n",
+                shards.wall_s[0], shards.wall_s[1], shards.speedup(1), shards.wall_s[2],
+                shards.speedup(2), shards.hw_threads,
+                shards.deterministic ? "bit-identical" : "DIGESTS DIVERGED");
+    ok &= shards.deterministic;
+  }
+
+  if (!out.empty()) write_json(out, quick, paths, churn, cells, shards);
+  if (!ok) std::fprintf(stderr, "bench_scale: GATE FAILURE (see above)\n");
+  return ok ? 0 : 1;
+}

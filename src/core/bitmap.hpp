@@ -7,11 +7,19 @@
 // as the present-bitmask key of the Reed–Solomon decode-matrix cache, so the
 // receiver's delivery state and the codec's erasure pattern share one
 // representation.
+//
+// The word storage can come from a SlabPool (core/slab.hpp): per-flow
+// delivery bitmaps then recycle across flow churn instead of hitting the
+// heap, and `release()` returns the words the moment the message completes.
+// Without a pool the bitset owns plain heap storage, so existing call sites
+// are unchanged.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+
+#include "core/slab.hpp"
 
 namespace uno {
 
@@ -19,12 +27,28 @@ class Bitset64 {
  public:
   Bitset64() = default;
   explicit Bitset64(std::size_t n) { assign(n); }
+  Bitset64(Bitset64&& o) noexcept : words_(std::move(o.words_)), size_(o.size_) {
+    o.size_ = 0;
+  }
+  Bitset64& operator=(Bitset64&& o) noexcept {
+    words_ = std::move(o.words_);
+    size_ = o.size_;
+    o.size_ = 0;
+    return *this;
+  }
+  Bitset64(const Bitset64&) = delete;
+  Bitset64& operator=(const Bitset64&) = delete;
 
   /// Resize to `n` bits, all cleared (value semantics of vector::assign).
-  void assign(std::size_t n) {
+  /// With a pool, the words are drawn from (and later recycled to) it.
+  void assign(std::size_t n, SlabPool* pool = nullptr) {
     size_ = n;
-    words_.assign((n + 63) / 64, 0);
+    words_.assign((n + 63) / 64, 0, pool);
   }
+
+  /// Return the word storage to its pool/heap early (the bitset reads as
+  /// empty afterwards; only size survives for framing arithmetic callers).
+  void release() { words_.release(); }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -88,7 +112,7 @@ class Bitset64 {
   }
 
  private:
-  std::vector<std::uint64_t> words_;
+  SlabVec<std::uint64_t> words_;
   std::size_t size_ = 0;
 };
 

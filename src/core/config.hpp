@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -15,6 +16,10 @@ struct UnoConfig {
   double k_fraction = 1.0 / 7.0;          // UnoCC MD constant (x intra BDP)
   Time intra_rtt = 14 * kMicrosecond;     // intra-DC base RTT
   Time inter_rtt = 2 * kMillisecond;      // inter-DC base RTT
+  /// Optional per-DC-pair inter RTT (row-major num_dcs x num_dcs, diagonal
+  /// ignored); entries <= 0 — or an absent/mis-sized matrix — fall back to
+  /// the scalar inter_rtt. Lets a >2-DC WAN mesh be heterogeneous.
+  std::vector<Time> inter_rtt_matrix;
   double phantom_drain_fraction = 0.9;    // phantom drain vs physical rate
 
   // --- fabric ------------------------------------------------------------
@@ -74,6 +79,15 @@ struct UnoConfig {
 
   std::int64_t intra_bdp() const { return bdp_bytes(intra_rtt, link_rate); }
   std::int64_t inter_bdp() const { return bdp_bytes(inter_rtt, link_rate); }
+  /// Base RTT between DCs a and b (the matrix entry when configured).
+  Time inter_rtt_for(int a, int b) const {
+    const std::size_t n = static_cast<std::size_t>(num_dcs);
+    if (inter_rtt_matrix.size() == n * n) {
+      const Time t = inter_rtt_matrix[static_cast<std::size_t>(a) * n + b];
+      if (t > 0) return t;
+    }
+    return inter_rtt;
+  }
   int subflows() const { return unolb_subflows > 0 ? unolb_subflows : ec_data + ec_parity; }
 };
 

@@ -9,14 +9,25 @@
 namespace uno {
 
 InterDcConfig Experiment::make_topo_config(const UnoConfig& uno, const SchemeSpec& scheme,
-                                           int fattree_k, std::uint64_t seed) {
+                                           int fattree_k, std::uint64_t seed,
+                                           PathMode paths) {
   InterDcConfig t;
   t.k = fattree_k > 0 ? fattree_k : uno.fattree_k;
   t.num_dcs = uno.num_dcs;
   t.cross_links = uno.cross_links;
   t.link_rate = uno.link_rate;
   t.seed = seed;
+  t.path_mode = paths;
   t.cross_link_latency = t.cross_latency_for_rtt(uno.inter_rtt);
+  // A per-pair RTT matrix translates entry-wise into per-pair WAN latencies
+  // (>2-DC heterogeneous meshes); zero entries keep the scalar default.
+  const std::size_t nd = static_cast<std::size_t>(t.num_dcs);
+  if (uno.inter_rtt_matrix.size() == nd * nd) {
+    t.cross_latency_matrix.assign(nd * nd, 0);
+    for (std::size_t i = 0; i < nd * nd; ++i)
+      if (uno.inter_rtt_matrix[i] > 0)
+        t.cross_latency_matrix[i] = t.cross_latency_for_rtt(uno.inter_rtt_matrix[i]);
+  }
 
   auto red_for = [&uno](std::int64_t capacity) {
     RedConfig red;
@@ -133,8 +144,10 @@ Experiment::Experiment(const ExperimentConfig& cfg) : cfg_(cfg) {
   } else {
     for (int d = 0; d < ndcs; ++d) atom_map.push_back(eqs_[d * nshards / ndcs].get());
   }
+  for (int s = 0; s < nshards; ++s) pools_.push_back(std::make_unique<SlabPool>());
   topo_ = std::make_unique<InterDcTopology>(
-      atom_map, make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed));
+      atom_map,
+      make_topo_config(cfg_.uno, cfg_.scheme, cfg_.fattree_k, cfg_.seed, cfg_.paths));
   fct_ = FctCollector(
       FctCollector::pipe_ideal(cfg_.uno.link_rate, cfg_.uno.intra_rtt, cfg_.uno.inter_rtt));
   if (cfg_.trace.enabled) {
@@ -225,7 +238,9 @@ FlowParams Experiment::flow_params(const FlowSpec& spec) const {
   p.mtu = cfg_.uno.mtu;
   p.start_time = spec.start_time;
   p.interdc = spec.interdc;
-  p.base_rtt = spec.interdc ? cfg_.uno.inter_rtt : cfg_.uno.intra_rtt;
+  p.base_rtt = spec.interdc
+                   ? cfg_.uno.inter_rtt_for(topo_->dc_of(spec.src), topo_->dc_of(spec.dst))
+                   : cfg_.uno.intra_rtt;
   p.ec_enabled = spec.interdc && cfg_.scheme.ec_inter;
   p.ec_data = cfg_.uno.ec_data;
   p.ec_parity = cfg_.uno.ec_parity;
@@ -235,7 +250,9 @@ FlowParams Experiment::flow_params(const FlowSpec& spec) const {
 
 CcParams Experiment::cc_params(const FlowSpec& spec) const {
   CcParams c;
-  c.base_rtt = spec.interdc ? cfg_.uno.inter_rtt : cfg_.uno.intra_rtt;
+  c.base_rtt = spec.interdc
+                   ? cfg_.uno.inter_rtt_for(topo_->dc_of(spec.src), topo_->dc_of(spec.dst))
+                   : cfg_.uno.intra_rtt;
   c.intra_rtt = cfg_.uno.intra_rtt;
   c.line_rate = cfg_.uno.link_rate;
   c.mtu = cfg_.uno.mtu;
@@ -252,7 +269,11 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
   FlowParams params = flow_params(spec);
   params.id = next_flow_id_++;
 
-  const PathSet& paths = topo_->paths(spec.src, spec.dst);
+  // Acquired for the flow's lifetime; the completion path releases the pair
+  // so idle route slabs can be evicted after their quarantine. Spawns always
+  // run on the main thread (before the run or between windows), so the path
+  // store never sees concurrent access.
+  const PathSet& paths = topo_->acquire_paths(spec.src, spec.dst, now());
   const CcKind cck = spec.interdc ? cfg_.scheme.cc_inter : cfg_.scheme.cc_intra;
   const LbKind lbk = spec.interdc ? cfg_.scheme.lb_inter : cfg_.scheme.lb_intra;
   auto cc = make_cc(cck, cc_params(spec), cfg_.uno);
@@ -264,8 +285,8 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
   FlowSender::CompletionCallback callback;
   if (runner_) {
     // Completion fires on the sender's shard thread; park the record and let
-    // the barrier-side drain apply it (and any extra callback) in
-    // deterministic shard order.
+    // the barrier-side drain apply it (and any extra callback, and the path
+    // release — the store is main-thread-only) in deterministic shard order.
     callback = [this, src_shard, extra = std::move(extra)](const FlowResult& r) {
       pending_completions_[src_shard].push_back({r, extra});
     };
@@ -273,13 +294,15 @@ FlowSender& Experiment::spawn(const FlowSpec& spec,
     callback = [this, extra = std::move(extra)](const FlowResult& r) {
       ++completed_;
       fct_.add(r);
+      topo_->release_paths(r.src, r.dst, eqs_[0]->now());
       if (extra) extra(r);
     };
   }
   auto flow = std::make_unique<Flow>(*eqs_[src_shard], *eqs_[dst_shard],
                                      topo_->host(spec.src), topo_->host(spec.dst),
                                      params, &paths, std::move(cc), std::move(lb),
-                                     std::move(callback));
+                                     std::move(callback), pools_[src_shard].get(),
+                                     pools_[dst_shard].get());
   if (!tracers_.empty()) {
     const std::string cname = "flow:" + std::to_string(params.id);
     Tracer* ts = tracers_[src_shard].get();
@@ -364,6 +387,38 @@ void Experiment::snapshot_metrics(MetricRegistry& m) const {
         m.set_counter("sim.shard.advance_us_log2_" + std::to_string(b), hist[b]);
   }
 
+  // Path-table economics (topo/pathgen.hpp): how many pair slabs were
+  // built vs revived from quarantine vs recycled, and their live footprint.
+  const PathStore& ps = topo_->path_store();
+  m.set_counter("topo.paths.pairs_built", ps.pairs_built());
+  m.set_counter("topo.paths.routes_built", ps.routes_built());
+  m.set_counter("topo.paths.pairs_revived", ps.pairs_revived());
+  m.set_counter("topo.paths.slabs_reused", ps.slabs_reused());
+  m.set_counter("topo.paths.evictions", ps.evictions());
+  m.set_counter("topo.paths.live_pairs", ps.live_pairs());
+  m.set_counter("topo.paths.slab_bytes", ps.slab_bytes());
+  m.set_counter("topo.paths.peak_slab_bytes", ps.peak_slab_bytes());
+
+  // Flow-state slab pools (core/slab.hpp), summed across shards. Steady
+  // state under churn shows acquires growing while heap_allocs stays flat —
+  // the zero-allocation contract scale tests and bench_scale gate on.
+  std::uint64_t sp_acq = 0, sp_rel = 0, sp_heap = 0;
+  std::size_t sp_live = 0, sp_peak = 0, sp_pooled = 0;
+  for (const auto& pool : pools_) {
+    sp_acq += pool->acquires();
+    sp_rel += pool->releases();
+    sp_heap += pool->heap_allocs();
+    sp_live += pool->live_bytes();
+    sp_peak += pool->peak_live_bytes();
+    sp_pooled += pool->pooled_bytes();
+  }
+  m.set_counter("mem.flow.slab_acquires", sp_acq);
+  m.set_counter("mem.flow.slab_releases", sp_rel);
+  m.set_counter("mem.flow.slab_heap_allocs", sp_heap);
+  m.set_counter("mem.flow.slab_live_bytes", sp_live);
+  m.set_counter("mem.flow.slab_peak_bytes", sp_peak);
+  m.set_counter("mem.flow.slab_pooled_bytes", sp_pooled);
+
   std::uint64_t forwarded = 0, ecn_marked = 0;
   for (const Queue* q : topo_->all_queues()) {
     forwarded += q->forwarded();
@@ -438,6 +493,7 @@ void Experiment::drain_completions() {
     for (PendingCompletion& pc : vec) {
       ++completed_;
       fct_.add(pc.r);
+      topo_->release_paths(pc.r.src, pc.r.dst, runner_->now());
       if (pc.extra) pc.extra(pc.r);
     }
     vec.clear();

@@ -1,4 +1,4 @@
-// Experiment harness: builds the two-DC topology configured for a scheme,
+// Experiment harness: builds the multi-DC topology configured for a scheme,
 // materializes workload FlowSpecs into transport flows, runs the event loop
 // and aggregates results. Every benchmark and integration test drives the
 // simulator through this class.
@@ -36,6 +36,11 @@ struct ExperimentConfig {
   /// Declarative fault timeline, executed by a FaultInjector the experiment
   /// owns (see src/faults). Empty = fault-free run.
   FaultPlan faults;
+  /// Path-table strategy (topo/pathgen.hpp). Flyweight shares one route slab
+  /// per unordered pair and evicts idle pairs; legacy is the eager
+  /// per-ordered-pair layout. Bit-identical results — the A/B check
+  /// bench_scale and CI gate on.
+  PathMode paths = PathMode::kFlyweight;
 
   /// Flight-recorder wiring (src/obs). When enabled the experiment owns a
   /// Tracer and registers every switch port, every flow, and the fault
@@ -168,7 +173,8 @@ class Experiment {
   /// Build the topology config implied by (UnoConfig, scheme): RED on every
   /// port; phantom queues on top when the scheme uses phantom marking.
   static InterDcConfig make_topo_config(const UnoConfig& uno, const SchemeSpec& scheme,
-                                        int fattree_k, std::uint64_t seed);
+                                        int fattree_k, std::uint64_t seed,
+                                        PathMode paths = PathMode::kFlyweight);
 
  private:
   /// Resolve cfg.shards against the machine, the atom count, and the
@@ -186,6 +192,11 @@ class Experiment {
 
   ExperimentConfig cfg_;
   std::vector<std::unique_ptr<EventQueue>> eqs_;  // one per shard
+  /// One flow-state slab pool per shard (core/slab.hpp). Acquires happen on
+  /// the main thread while shard threads are parked (flows spawn before the
+  /// run or between windows); releases happen on the owning shard's thread
+  /// inside a window — never concurrently with each other or with acquires.
+  std::vector<std::unique_ptr<SlabPool>> pools_;
   std::unique_ptr<InterDcTopology> topo_;
   std::unique_ptr<ShardRunner> runner_;  // null when monolithic
   FctCollector fct_;

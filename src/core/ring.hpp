@@ -73,6 +73,14 @@ class PodRing {
 
   void clear() { head_ = tail_ = 0; }
 
+  /// Drop the backing store entirely (clear() keeps it). Completed flows
+  /// call this so a million finished senders don't pin their ring buffers.
+  void release() {
+    buf_.reset();
+    cap_ = mask_ = 0;
+    head_ = tail_ = 0;
+  }
+
   /// Pre-size the buffer to hold at least `n` elements (rounded up to a
   /// power of two). Untouched slots cost address space, not pages.
   void reserve(std::size_t n) {

@@ -33,9 +33,21 @@ OptionSet make_sim_options() {
 
   opts.begin_group("topology");
   opts.add_num("k", 8, "N", "fat-tree arity per DC");
+  opts.add_num("hosts-per-dc", 0, "N",
+               "size each DC by host count instead of arity: derives the\n"
+               "even k with k^3/4 == N (16, 128, 432, 1024, ...) and\n"
+               "overrides --k; 0 keeps --k");
   opts.add_num("dcs", 2, "N", "datacenters (full border mesh)");
-  opts.add_num("cross-links", 8, "N", "WAN links between the borders");
+  opts.add_num("cross-links", 8, "N", "WAN links between each border pair");
   opts.add_num("rtt-ratio", 143, "N", "inter/intra RTT ratio (default => 2 ms)");
+  opts.add_str("cross-rtt", "", "LIST",
+               "per-DC-pair inter RTT overrides, e.g. \"0-1=2,0-2=8,1-2=8\"\n"
+               "(A-B=MS, comma-separated, symmetric); unlisted pairs keep\n"
+               "the --rtt-ratio default");
+  opts.add_str("paths", "flyweight", "MODE",
+               "path-table strategy: flyweight (shared per-pair route\n"
+               "slabs, refcounted eviction) | legacy (eager per-ordered-\n"
+               "pair tables). Results are bit-identical; memory differs");
   opts.add_num("ec-data", 8, "N", "UnoRC EC block data shards");
   opts.add_num("ec-parity", 2, "N", "UnoRC EC block parity shards");
 
@@ -132,6 +144,49 @@ bool parse_sweep(const std::string& spec, Sweep* out, std::string* err) {
   }
   if (!parse_range(spec.substr(eq + 1), &out->lo, &out->hi, &out->n, err)) return false;
   out->active = true;
+  return true;
+}
+
+int k_for_hosts(std::int64_t hosts) {
+  for (int k = 2; static_cast<std::int64_t>(k) * k * k / 4 <= hosts; k += 2)
+    if (static_cast<std::int64_t>(k) * k * k / 4 == hosts) return k;
+  return 0;
+}
+
+bool parse_cross_rtt(const std::string& spec, int num_dcs, std::vector<Time>* out,
+                     std::string* err) {
+  out->assign(static_cast<std::size_t>(num_dcs) * num_dcs, 0);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    int a = 0, b = 0;
+    double ms = 0;
+    int consumed = 0;
+    if (std::sscanf(item.c_str(), "%d-%d=%lf%n", &a, &b, &ms, &consumed) != 3 ||
+        static_cast<std::size_t>(consumed) != item.size()) {
+      *err = "malformed cross-rtt entry '" + item + "' (expected A-B=MS)";
+      return false;
+    }
+    if (a < 0 || b < 0 || a >= num_dcs || b >= num_dcs || a == b) {
+      *err = "cross-rtt entry '" + item + "': need two distinct DCs in [0, " +
+             std::to_string(num_dcs) + ")";
+      return false;
+    }
+    const Time rtt = static_cast<Time>(ms * static_cast<double>(kMillisecond));
+    // The RTT must leave a positive WAN propagation term after the in-DC
+    // host/fabric hops (20 us round trip at the default latencies); the
+    // cross ChannelLink latency is also the PDES lookahead, so it must be
+    // strictly positive.
+    if (rtt <= 21 * kMicrosecond) {
+      *err = "cross-rtt entry '" + item + "': RTT must exceed the in-DC path (> 0.021 ms)";
+      return false;
+    }
+    (*out)[static_cast<std::size_t>(a) * num_dcs + b] = rtt;
+    (*out)[static_cast<std::size_t>(b) * num_dcs + a] = rtt;
+  }
   return true;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/options.hpp"
+#include "sim/time.hpp"
 
 namespace uno {
 
@@ -44,5 +45,17 @@ struct Sweep {
 /// suggestion (OptionSet::edit_distance over sweep_keys()); malformed
 /// ranges, N < 1, and LO > HI are errors.
 bool parse_sweep(const std::string& spec, Sweep* out, std::string* err);
+
+/// The even fat-tree arity k with k^3/4 == hosts, or 0 when no such k
+/// exists (what --hosts-per-dc accepts: 16, 128, 432, 1024, 2000, ...).
+int k_for_hosts(std::int64_t hosts);
+
+/// Parse a --cross-rtt spec "A-B=MS[,A-B=MS...]" into a row-major
+/// num_dcs^2 matrix of per-pair inter-DC RTTs (both directions filled;
+/// unlisted pairs stay 0 = scalar default). Rejects malformed entries,
+/// out-of-range or self pairs, and RTTs too small to leave a positive WAN
+/// propagation term.
+bool parse_cross_rtt(const std::string& spec, int num_dcs, std::vector<Time>* out,
+                     std::string* err);
 
 }  // namespace uno

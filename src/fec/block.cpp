@@ -6,7 +6,7 @@
 namespace uno {
 
 BlockFrame::BlockFrame(std::uint64_t size_bytes, std::int64_t mtu, bool ec_enabled,
-                       int data_shards, int parity_shards)
+                       int data_shards, int parity_shards, SlabPool* pool)
     : size_bytes_(size_bytes),
       mtu_(mtu),
       x_(data_shards),
@@ -19,7 +19,7 @@ BlockFrame::BlockFrame(std::uint64_t size_bytes, std::int64_t mtu, bool ec_enabl
   // Every block except possibly the last carries x_ data shards; each block
   // carries y_ parity shards.
   total_packets_ = ndata_ + static_cast<std::uint64_t>(nblocks_) * y_;
-  marked_.assign(total_packets_);
+  marked_.assign(total_packets_, pool);
 }
 
 int BlockFrame::data_shards_in_block(std::uint32_t b) const {

@@ -22,8 +22,15 @@ namespace uno {
 
 class BlockFrame {
  public:
+  /// With a `pool`, the delivery bitmap draws its words from that slab pool
+  /// (and release() recycles them there) instead of the heap.
   BlockFrame(std::uint64_t size_bytes, std::int64_t mtu, bool ec_enabled, int data_shards,
-             int parity_shards);
+             int parity_shards, SlabPool* pool = nullptr);
+
+  /// Drop the delivery bitmap once the message completed; the framing
+  /// arithmetic (total_packets, shard_of, complete, ...) stays valid, only
+  /// per-shard queries (is_marked, shard_mask, ...) become meaningless.
+  void release() { marked_.release(); }
 
   std::uint64_t total_packets() const { return total_packets_; }
   std::uint64_t data_packets() const { return ndata_; }

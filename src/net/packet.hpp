@@ -6,9 +6,10 @@
 // struct so queues and links stay type-agnostic.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
-#include <vector>
 
 #include "sim/time.hpp"
 
@@ -25,11 +26,126 @@ class PacketSink {
   virtual const std::string& name() const = 0;
 };
 
+/// The hop sequence of one route. Two storage modes behind one interface:
+///
+///  * owning — small-buffer storage (4 inline slots, heap beyond) with
+///    push_back / initializer-list assignment. What tests and ad-hoc route
+///    construction use; behaves like a small vector.
+///  * bound — a non-owning view over hop storage packed by the flyweight
+///    path store (topo/pathgen.hpp), where every route of a host pair
+///    shares one contiguous PacketSink* slab instead of owning a heap
+///    allocation per route.
+///
+/// The hot path (`forward()` below) is identical for both: one pointer
+/// indexed load.
+class HopList {
+ public:
+  HopList() = default;
+  HopList(std::initializer_list<PacketSink*> l) { assign(l.begin(), l.size()); }
+  HopList& operator=(std::initializer_list<PacketSink*> l) {
+    assign(l.begin(), l.size());
+    return *this;
+  }
+  HopList(const HopList& o) { assign(o.data_, o.n_); }
+  HopList& operator=(const HopList& o) {
+    if (this != &o) assign(o.data_, o.n_);
+    return *this;
+  }
+  HopList(HopList&& o) noexcept { steal(o); }
+  HopList& operator=(HopList&& o) noexcept {
+    if (this != &o) {
+      drop();
+      steal(o);
+    }
+    return *this;
+  }
+  ~HopList() { drop(); }
+
+  /// Rebind to externally owned hop storage (flyweight mode). The storage
+  /// must outlive this list; the previous owned storage is freed.
+  void bind(PacketSink* const* hops, std::uint16_t n) {
+    drop();
+    data_ = const_cast<PacketSink**>(hops);
+    n_ = n;
+    cap_ = 0;  // 0 marks the non-owning view
+  }
+
+  void push_back(PacketSink* s) {
+    assert(cap_ != 0 && "cannot grow a bound (flyweight) hop list");
+    if (n_ == cap_) grow();
+    data_[n_++] = s;
+  }
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  PacketSink* operator[](std::size_t i) const {
+    assert(i < n_);
+    return data_[i];
+  }
+  PacketSink* back() const {
+    assert(n_ > 0);
+    return data_[n_ - 1];
+  }
+  PacketSink* const* begin() const { return data_; }
+  PacketSink* const* end() const { return data_ + n_; }
+
+ private:
+  static constexpr std::uint16_t kInline = 4;
+
+  void assign(PacketSink* const* hops, std::size_t n) {
+    drop();
+    if (n > cap_) {
+      data_ = new PacketSink*[n];
+      cap_ = static_cast<std::uint16_t>(n);
+    }
+    n_ = static_cast<std::uint16_t>(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = hops[i];
+  }
+
+  void steal(HopList& o) {
+    if (o.data_ == o.inline_) {
+      data_ = inline_;
+      n_ = o.n_;
+      cap_ = kInline;
+      for (std::uint16_t i = 0; i < n_; ++i) inline_[i] = o.inline_[i];
+    } else {
+      data_ = o.data_;
+      n_ = o.n_;
+      cap_ = o.cap_;
+    }
+    o.data_ = o.inline_;
+    o.n_ = 0;
+    o.cap_ = kInline;
+  }
+
+  void grow() {
+    const std::uint16_t next = static_cast<std::uint16_t>(cap_ * 2);
+    PacketSink** bigger = new PacketSink*[next];
+    for (std::uint16_t i = 0; i < n_; ++i) bigger[i] = data_[i];
+    drop();
+    data_ = bigger;
+    cap_ = next;
+  }
+
+  /// Free owned heap storage and fall back to the inline buffer.
+  void drop() {
+    if (cap_ > kInline) delete[] data_;
+    data_ = inline_;
+    n_ = 0;
+    cap_ = kInline;
+  }
+
+  PacketSink** data_ = inline_;
+  std::uint16_t n_ = 0;
+  std::uint16_t cap_ = kInline;
+  PacketSink* inline_[kInline];
+};
+
 /// A unidirectional source route: every sink the packet traverses, ending
 /// at the destination endpoint. Routes are owned by the topology's path
 /// tables and referenced (not copied) by packets.
 struct Route {
-  std::vector<PacketSink*> hops;
+  HopList hops;
   /// Index of this route within its (src,dst) path set; used by load
   /// balancers to reason about path identity.
   std::uint16_t path_id = 0;

@@ -13,6 +13,7 @@
 #include "net/link.hpp"
 #include "net/queue.hpp"
 #include "sim/event.hpp"
+#include "topo/pathset.hpp"
 
 namespace uno {
 
@@ -25,6 +26,10 @@ struct Pipe {
   void append_to(Route& r) const {
     r.hops.push_back(queue.get());
     r.hops.push_back(link.get());
+  }
+  void append_to(RouteScratch& r) const {
+    r.push(queue.get());
+    r.push(link.get());
   }
 };
 

@@ -32,7 +32,8 @@ InterDcTopology::InterDcTopology(EventQueue& eq, const InterDcConfig& cfg)
 
 InterDcTopology::InterDcTopology(const std::vector<EventQueue*>& shard_eqs,
                                  const InterDcConfig& cfg)
-    : atom_eqs_(shard_eqs), cfg_(cfg) {
+    : atom_eqs_(shard_eqs), cfg_(cfg),
+      path_store_(*this, cfg.path_mode, cfg.path_quarantine) {
   assert(cfg_.num_dcs >= 2);
   assert(atom_eqs_.size() == 1 ||
          atom_eqs_.size() == static_cast<std::size_t>(cfg_.num_dcs));
@@ -67,55 +68,36 @@ InterDcTopology::InterDcTopology(const std::vector<EventQueue*>& shard_eqs,
           border_cross_[d].push_back(make_channel_pipe(
               d, peer,
               b + ".cross" + std::to_string(peer) + "." + std::to_string(j),
-              cfg_.cross_link_latency));
+              cfg_.cross_latency_between(d, peer)));
         }
       }
     }
   }
 }
 
-const PathSet& InterDcTopology::paths(int src, int dst) {
-  const std::uint64_t key = path_key(src, dst);
-  auto it = path_cache_.find(key);
-  if (it != path_cache_.end()) return *it->second;
-  auto ps = std::make_unique<PathSet>(build_paths(src, dst));
-  const PathSet& ref = *ps;
-  path_cache_.emplace(key, std::move(ps));
-  return ref;
-}
-
-PathSet InterDcTopology::build_paths(int src, int dst) {
+// Route enumeration is a pure function of the ordered pair: the hop
+// sequences depend only on (src,dst) and the construction-time RNG stream
+// keyed by path_key(src,dst). The PathStore leans on this purity for its
+// flyweight sharing — (a,b).forward and (b,a).reverse come from the same
+// generate_routes(a,b) call, so they are identical by construction.
+void InterDcTopology::generate_routes(int src, int dst,
+                                      std::vector<RouteScratch>& out) {
   assert(src != dst);
-  PathSet ps;
-  build_forward_routes(src, dst, ps.forward);
-  build_forward_routes(dst, src, ps.reverse);
-  // Pair forward/reverse by index so a subflow's ACKs consistently use one
-  // return path. The counts always match because route construction is
-  // symmetric in (src,dst) roles.
-  assert(ps.forward.size() == ps.reverse.size());
-  for (std::size_t i = 0; i < ps.forward.size(); ++i) {
-    ps.forward[i].path_id = static_cast<std::uint16_t>(i);
-    ps.reverse[i].path_id = static_cast<std::uint16_t>(i);
-  }
-  return ps;
-}
-
-void InterDcTopology::build_forward_routes(int src, int dst, std::vector<Route>& out) {
   const int sd = dc_of(src), dd = dc_of(dst);
   const int s = local_id(src), t = local_id(dst);
   FatTreeDC& S = *dcs_[sd];
   FatTreeDC& D = *dcs_[dd];
   const int r = S.radix();
 
-  auto finish = [&](Route& route) {
-    route.hops.push_back(&D.host(t));
-    out.push_back(std::move(route));
+  auto finish = [&](RouteScratch& route) {
+    route.push(&D.host(t));
+    out.push_back(route);
   };
 
   if (sd == dd) {
     const int es = S.edge_index(s), et = S.edge_index(t);
     if (es == et) {
-      Route route;
+      RouteScratch route;
       S.host_up(s).append_to(route);
       S.edge_down(et, S.port_of(t)).append_to(route);
       finish(route);
@@ -124,7 +106,7 @@ void InterDcTopology::build_forward_routes(int src, int dst, std::vector<Route>&
     if (S.pod_of(s) == S.pod_of(t)) {
       // One path per aggregation switch in the pod.
       for (int a = 0; a < r && static_cast<int>(out.size()) < cfg_.max_paths_intra; ++a) {
-        Route route;
+        RouteScratch route;
         S.host_up(s).append_to(route);
         S.edge_up(es, a).append_to(route);
         S.agg_down(S.pod_of(t), a, S.edge_of(t)).append_to(route);
@@ -138,7 +120,7 @@ void InterDcTopology::build_forward_routes(int src, int dst, std::vector<Route>&
       for (int cs = 0; cs < r; ++cs) {
         if (static_cast<int>(out.size()) >= cfg_.max_paths_intra) return;
         const int core = S.core_index(a, cs);
-        Route route;
+        RouteScratch route;
         S.host_up(s).append_to(route);
         S.edge_up(es, a).append_to(route);
         S.agg_up(S.pod_of(s), a, cs).append_to(route);
@@ -164,7 +146,7 @@ void InterDcTopology::build_forward_routes(int src, int dst, std::vector<Route>&
     const int j = i % cfg_.cross_links;
     const int c2 = static_cast<int>(rng.uniform_below(ncores));
     const int core = S.core_index(a, cs);
-    Route route;
+    RouteScratch route;
     S.host_up(s).append_to(route);
     S.edge_up(es, a).append_to(route);
     S.agg_up(S.pod_of(s), a, cs).append_to(route);

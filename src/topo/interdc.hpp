@@ -1,19 +1,22 @@
-// Two fat-tree datacenters joined by border switches — the paper's topology:
-// "two 8-ary fat-tree datacenters ... connected through two border switches
-// that are interconnected through eight links. Also, every core switch is
-// connected to a border switch" (§5.1).
+// N fat-tree datacenters joined by border switches. The paper's setup is
+// the N=2 instance: "two 8-ary fat-tree datacenters ... connected through
+// two border switches that are interconnected through eight links. Also,
+// every core switch is connected to a border switch" (§5.1). With more DCs
+// the borders form a full mesh: `cross_links` parallel links per ordered
+// DC pair, each pair's WAN latency individually configurable.
 //
-// The topology owns all queues/links/hosts and lazily builds cached source
-// routes per ordered host pair. Inter-DC path diversity (agg x core x
+// The topology owns all queues/links/hosts; source routes are produced on
+// demand by a flyweight PathStore (topo/pathgen.hpp) that packs each host
+// pair's routes into one shared slab. Inter-DC path diversity (agg x core x
 // cross-link x remote core) is sampled down to `max_paths_inter` entropies.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/channel.hpp"
 #include "topo/fattree.hpp"
+#include "topo/pathgen.hpp"
 #include "topo/pathset.hpp"
 
 namespace uno {
@@ -27,6 +30,10 @@ struct ChannelPipe {
   void append_to(Route& r) const {
     r.hops.push_back(queue.get());
     r.hops.push_back(link.get());
+  }
+  void append_to(RouteScratch& r) const {
+    r.push(queue.get());
+    r.push(link.get());
   }
 };
 
@@ -42,6 +49,10 @@ struct InterDcConfig {
   Time host_link_latency = 500 * kNanosecond;
   Time fabric_link_latency = 1500 * kNanosecond;
   Time cross_link_latency = 990 * kMicrosecond;
+  /// Optional per-pair WAN latency override, row-major num_dcs x num_dcs;
+  /// entries <= 0 (and a missing/odd-sized matrix) fall back to
+  /// cross_link_latency. The diagonal is ignored.
+  std::vector<Time> cross_latency_matrix;
 
   QueueConfig queue;         // intra-DC ports
   QueueConfig uplink_queue;  // edge->agg / agg->core ports
@@ -52,19 +63,40 @@ struct InterDcConfig {
   int max_paths_inter = 32;
   std::uint64_t seed = 42;
 
+  PathMode path_mode = PathMode::kFlyweight;
+  /// How long a fully released pair's routes stay valid before their slab
+  /// may be recycled. Must exceed the worst-case residency of a packet
+  /// referencing the route — a full NIC queue at line rate drains in ~21 ms
+  /// (256 MiB at 100 Gbps), so the default has a >2x margin on top of every
+  /// propagation delay that follows.
+  Time path_quarantine = 50 * kMillisecond;
+
   /// Cross-link latency that yields a given inter-DC base RTT with the
   /// current host/fabric latencies.
   Time cross_latency_for_rtt(Time inter_rtt) const {
     return inter_rtt / 2 - (2 * host_link_latency + 6 * fabric_link_latency);
+  }
+  /// WAN latency of the (a,b) cross links: the matrix entry when one is
+  /// configured, the scalar default otherwise.
+  Time cross_latency_between(int a, int b) const {
+    const std::size_t n = static_cast<std::size_t>(num_dcs);
+    if (cross_latency_matrix.size() == n * n) {
+      const Time t = cross_latency_matrix[static_cast<std::size_t>(a) * n + b];
+      if (t > 0) return t;
+    }
+    return cross_link_latency;
   }
   /// Propagation-only base RTTs implied by the latency settings.
   Time intra_base_rtt() const { return 2 * (2 * host_link_latency + 4 * fabric_link_latency); }
   Time inter_base_rtt() const {
     return 2 * (2 * host_link_latency + 6 * fabric_link_latency + cross_link_latency);
   }
+  Time inter_base_rtt_between(int a, int b) const {
+    return 2 * (2 * host_link_latency + 6 * fabric_link_latency + cross_latency_between(a, b));
+  }
 };
 
-class InterDcTopology {
+class InterDcTopology : public PathStore::Source {
  public:
   InterDcTopology(EventQueue& eq, const InterDcConfig& cfg);
 
@@ -86,8 +118,24 @@ class InterDcTopology {
   Host& host(int h) { return dcs_[dc_of(h)]->host(local_id(h)); }
   FatTreeDC& dc(int d) { return *dcs_[d]; }
 
-  /// Cached path set for an ordered pair of distinct hosts.
-  const PathSet& paths(int src, int dst);
+  /// Path set for an ordered pair of distinct hosts, pinned for the
+  /// topology's lifetime (tests and ad-hoc callers). Flow churn should use
+  /// the acquire/release pair so idle pairs can be evicted.
+  const PathSet& paths(int src, int dst) { return path_store_.get(src, dst); }
+  /// Refcounted path set for one flow's lifetime; balance with
+  /// release_paths() when the flow completes.
+  const PathSet& acquire_paths(int src, int dst, Time now) {
+    return path_store_.acquire(src, dst, now);
+  }
+  void release_paths(int src, int dst, Time now) {
+    path_store_.release(src, dst, now);
+  }
+  PathStore& path_store() { return path_store_; }
+  const PathStore& path_store() const { return path_store_; }
+
+  /// PathStore::Source — enumerate the routes of an ordered pair directly
+  /// into caller scratch, bypassing the store (route-equivalence tests).
+  void generate_routes(int src, int dst, std::vector<RouteScratch>& out) override;
 
   /// The edge->host port feeding `host` (the incast bottleneck in Figs 3/4/8).
   Queue& host_ingress_queue(int host) {
@@ -129,8 +177,6 @@ class InterDcTopology {
   std::uint64_t total_trims() const;
 
  private:
-  PathSet build_paths(int src, int dst);
-  void build_forward_routes(int src, int dst, std::vector<Route>& out);
   Pipe make_border_pipe(EventQueue& eq, const std::string& name, Time latency);
   ChannelPipe make_channel_pipe(int src_dc, int dst_dc, const std::string& name,
                                 Time latency);
@@ -158,7 +204,7 @@ class InterDcTopology {
   std::vector<std::vector<ChannelPipe>> border_cross_;
   std::vector<std::vector<Pipe>> border_core_;  // own border -> core c (arrivals side)
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<PathSet>> path_cache_;
+  PathStore path_store_;
 };
 
 }  // namespace uno

@@ -11,20 +11,20 @@ namespace uno {
 
 FlowSender::FlowSender(EventQueue& eq, const FlowParams& params, const PathSet* paths,
                        std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
-                       CompletionCallback on_complete)
+                       CompletionCallback on_complete, SlabPool* pool)
     : eq_(eq),
       params_(params),
       paths_(paths),
+      pool_(pool),
       cc_(std::move(cc)),
       lb_(std::move(lb)),
       on_complete_(std::move(on_complete)),
-      name_("flow" + std::to_string(params.id) + ".snd"),
       frame_(params.size_bytes, params.mtu, params.ec_enabled, params.ec_data,
-             params.ec_parity),
+             params.ec_parity, pool),
       rto_timer_(eq, this, kTagRto) {
   assert(paths_ != nullptr && !paths_->empty());
   assert(cc_ != nullptr && lb_ != nullptr);
-  meta_.assign(frame_.total_packets(), PktMeta{});
+  meta_.assign(frame_.total_packets(), PktMeta{}, pool_);
   if (params_.verify_payload && frame_.ec_enabled())
     payload_store_ = std::make_unique<PayloadStore>(params_.id, frame_,
                                                     params_.payload_shard_bytes);
@@ -344,6 +344,7 @@ void FlowSender::complete() {
   if (fec_masked_ > 0)
     UNO_TRACE_EVENT(trace_, TraceKind::kFecMasked, eq_.now(), fec_masked_,
                     frame_.total_packets());
+  release_state();
   if (on_complete_) {
     FlowResult r;
     r.id = params_.id;
@@ -361,19 +362,29 @@ void FlowSender::complete() {
   }
 }
 
+void FlowSender::release_state() {
+  meta_.release();
+  rtx_queue_.release();
+  send_order_.release();
+  frame_.release();
+  // payload_store_ stays: in-flight packets still point into its shard slab
+  // (verify-mode only, so the retention is test-scoped by construction).
+}
+
 // ---------------------------------------------------------------------------
 // FlowReceiver
 // ---------------------------------------------------------------------------
 
-FlowReceiver::FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths)
+FlowReceiver::FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths,
+                           SlabPool* pool)
     : eq_(eq),
       params_(params),
       paths_(paths),
-      name_("flow" + std::to_string(params.id) + ".rcv"),
+      pool_(pool),
       frame_(params.size_bytes, params.mtu, params.ec_enabled, params.ec_data,
-             params.ec_parity),
+             params.ec_parity, pool),
       block_timer_(eq, this, 1) {
-  received_.assign(frame_.total_packets());
+  received_.assign(frame_.total_packets(), pool_);
   if (params_.verify_payload && frame_.ec_enabled())
     verifier_ = std::make_unique<PayloadVerifier>(params_.id, frame_,
                                                   params_.payload_shard_bytes);
@@ -394,6 +405,16 @@ void FlowReceiver::receive(Packet&& p) {
   assert(seq < frame_.total_packets());
   last_entropy_ = p.entropy;
 
+  if (frame_.complete() && !verifier_) {
+    // Message already finished and per-shard state released: any further
+    // arrival (redundant EC shard, crossed retransmission) just gets its
+    // ACK. Indistinguishable on the wire from the pre-release duplicate
+    // path — only receiver-local tallies differ.
+    ++duplicates_;
+    send_ack(p);
+    return;
+  }
+
   if (!received_.test_and_set(seq)) {
     ++received_count_;
     const std::uint32_t block = p.block_id;
@@ -412,10 +433,16 @@ void FlowReceiver::receive(Packet&& p) {
         arm_block_timer();
       }
     }
+    if (frame_.complete() && !verifier_) release_state();
   } else {
     ++duplicates_;
   }
   send_ack(p);
+}
+
+void FlowReceiver::release_state() {
+  received_.release();
+  frame_.release();
 }
 
 void FlowReceiver::send_ack(const Packet& data) {
@@ -464,11 +491,12 @@ Flow::Flow(EventQueue& eq, Host& src_host, Host& dst_host, const FlowParams& par
 Flow::Flow(EventQueue& snd_eq, EventQueue& rcv_eq, Host& src_host, Host& dst_host,
            const FlowParams& params, const PathSet* paths,
            std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
-           FlowSender::CompletionCallback on_complete)
+           FlowSender::CompletionCallback on_complete, SlabPool* snd_pool,
+           SlabPool* rcv_pool)
     : src_host_(src_host), dst_host_(dst_host), id_(params.id) {
-  receiver_ = std::make_unique<FlowReceiver>(rcv_eq, params, paths);
+  receiver_ = std::make_unique<FlowReceiver>(rcv_eq, params, paths, rcv_pool);
   sender_ = std::make_unique<FlowSender>(snd_eq, params, paths, std::move(cc),
-                                         std::move(lb), std::move(on_complete));
+                                         std::move(lb), std::move(on_complete), snd_pool);
   src_host_.register_flow(id_, sender_.get());
   dst_host_.register_flow(id_, receiver_.get());
 }

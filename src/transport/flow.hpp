@@ -107,11 +107,19 @@ struct FlowResult {
 
 class FlowReceiver final : public PacketSink, public EventHandler {
  public:
-  FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths);
+  /// With a `pool`, per-packet state (delivery bitmaps) is drawn from that
+  /// slab pool and recycled to it the moment the message completes, so flow
+  /// churn stops touching the heap (core/slab.hpp).
+  FlowReceiver(EventQueue& eq, const FlowParams& params, const PathSet* paths,
+               SlabPool* pool = nullptr);
 
   void receive(Packet&& p) override;
   void on_event(std::uint64_t tag) override;
-  const std::string& name() const override { return name_; }
+  /// Built lazily: a million short flows never ask for their names.
+  const std::string& name() const override {
+    if (name_.empty()) name_ = "flow" + std::to_string(params_.id) + ".rcv";
+    return name_;
+  }
 
   std::uint64_t data_packets_received() const { return received_count_; }
   std::uint64_t duplicates() const { return duplicates_; }
@@ -141,11 +149,17 @@ class FlowReceiver final : public PacketSink, public EventHandler {
   void send_ack(const Packet& data);
   void send_nack(std::uint32_t block, std::uint16_t entropy);
   void arm_block_timer();
+  /// Return per-packet state to the slab pool once the message completed.
+  /// Late arrivals afterwards are counted as duplicates and acked without
+  /// touching the (released) bitmaps — never taken in verify mode, where
+  /// the verifier still consumes shard payloads.
+  void release_state();
 
   EventQueue& eq_;
   FlowParams params_;
   const PathSet* paths_;
-  std::string name_;
+  SlabPool* pool_;
+  mutable std::string name_;
   BlockFrame frame_;  // per-block shard accounting (degenerate for non-EC)
   std::unique_ptr<PayloadVerifier> verifier_;  // only with verify_payload
 
@@ -167,16 +181,22 @@ class FlowSender final : public PacketSink, public EventHandler {
  public:
   using CompletionCallback = std::function<void(const FlowResult&)>;
 
+  /// With a `pool`, per-packet state (transmission records, delivery
+  /// bitmap) lives on that slab pool and is recycled to it at completion.
   FlowSender(EventQueue& eq, const FlowParams& params, const PathSet* paths,
              std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
-             CompletionCallback on_complete = nullptr);
+             CompletionCallback on_complete = nullptr, SlabPool* pool = nullptr);
 
   /// Schedule the flow's first transmission at params.start_time.
   void start();
 
   void receive(Packet&& p) override;  // ACKs and NACKs arrive here
   void on_event(std::uint64_t tag) override;
-  const std::string& name() const override { return name_; }
+  /// Built lazily: a million short flows never ask for their names.
+  const std::string& name() const override {
+    if (name_.empty()) name_ = "flow" + std::to_string(params_.id) + ".snd";
+    return name_;
+  }
 
   // --- observability ---------------------------------------------------------
   const FlowParams& params() const { return params_; }
@@ -224,16 +244,21 @@ class FlowSender final : public PacketSink, public EventHandler {
   /// Send time of the oldest authoritative in-flight transmission, or -1.
   Time oldest_inflight_sent();
   void complete();
+  /// Recycle per-packet state (meta, rings, bitmap) at completion; the
+  /// done_ short-circuit in every handler keeps it untouched afterwards.
+  /// Framing scalars survive, so total_packets() stays valid.
+  void release_state();
   /// Next sequence due for (re)transmission, or -1 when nothing is pending.
   std::int64_t next_seq_to_send();
 
   EventQueue& eq_;
   FlowParams params_;
   const PathSet* paths_;
+  SlabPool* pool_;
   std::unique_ptr<CongestionControl> cc_;
   std::unique_ptr<LoadBalancer> lb_;
   CompletionCallback on_complete_;
-  std::string name_;
+  mutable std::string name_;
 
   BlockFrame frame_;
   std::unique_ptr<PayloadStore> payload_store_;  // only with verify_payload
@@ -245,7 +270,7 @@ class FlowSender final : public PacketSink, public EventHandler {
     std::uint16_t entropy = 0;  // path the seq was last sent on
     PktState state = PktState::kUnsent;
   };
-  std::vector<PktMeta> meta_;
+  SlabVec<PktMeta> meta_;
   PodRing<std::uint64_t> rtx_queue_;
   /// One transmission in time order (see send_order_). An entry is
   /// authoritative only while meta_[seq].sent still equals its timestamp
@@ -289,10 +314,14 @@ class Flow {
        std::unique_ptr<LoadBalancer> lb, FlowSender::CompletionCallback on_complete = nullptr);
   /// Sharded form: the sender lives on the source host's shard queue, the
   /// receiver on the destination host's (the same object when not sharding).
+  /// Each endpoint's slab pool must belong to its own shard: acquires happen
+  /// on the main thread while shard threads are parked, releases on the
+  /// owning shard's thread during windows — never concurrently.
   Flow(EventQueue& snd_eq, EventQueue& rcv_eq, Host& src_host, Host& dst_host,
        const FlowParams& params, const PathSet* paths,
        std::unique_ptr<CongestionControl> cc, std::unique_ptr<LoadBalancer> lb,
-       FlowSender::CompletionCallback on_complete = nullptr);
+       FlowSender::CompletionCallback on_complete = nullptr,
+       SlabPool* snd_pool = nullptr, SlabPool* rcv_pool = nullptr);
   ~Flow();
 
   Flow(const Flow&) = delete;

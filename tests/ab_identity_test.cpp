@@ -78,7 +78,7 @@ void print_or_check(const char* name, const RunDigest& got, const RunDigest& wan
 
 /// Shard counts every scenario runs at. With two DCs the partition has two
 /// atoms, so 4 exercises the clamp path (resolves to 2) on top of the real
-/// two-shard run.
+/// two-shard run; the 4-DC mesh scenario runs all three counts for real.
 constexpr int kShardCounts[] = {1, 2, 4};
 
 /// Scaled-down perm_inter: the BENCH_PERF outlier scenario at k=4 — random
@@ -134,6 +134,47 @@ TEST(AbIdentity, FecLossyInterGolden) {
     const RunDigest got = run_fec_lossy(shards);
     if (shards == 1)
       print_or_check("fec_lossy_inter", got, want);
+    else
+      EXPECT_EQ(got, want) << "sharded run diverged from the monolithic golden";
+  }
+}
+
+/// 4-DC WAN mesh with a heterogeneous latency matrix (two near pairs at
+/// 2 ms, the rest at 8 ms): permutation traffic crosses every seam, so
+/// shards 1, 2 and 4 all exercise real multi-atom schedules — 4 shards is
+/// no longer the clamp path but a genuine 4-thread run, with per-pair WAN
+/// latencies as per-seam PDES lookahead.
+RunDigest run_mesh4(int shards) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  cfg.uno.num_dcs = 4;
+  cfg.shards = shards;
+  cfg.uno.inter_rtt_matrix.assign(16, 0);
+  auto set_rtt = [&](int a, int b, Time rtt) {
+    cfg.uno.inter_rtt_matrix[static_cast<std::size_t>(a) * 4 + b] = rtt;
+    cfg.uno.inter_rtt_matrix[static_cast<std::size_t>(b) * 4 + a] = rtt;
+  };
+  set_rtt(0, 1, 2 * kMillisecond);
+  set_rtt(2, 3, 2 * kMillisecond);
+  set_rtt(0, 2, 8 * kMillisecond);
+  set_rtt(0, 3, 8 * kMillisecond);
+  set_rtt(1, 2, 8 * kMillisecond);
+  set_rtt(1, 3, 8 * kMillisecond);
+  Experiment ex(cfg);
+  ex.spawn_all(make_permutation(HostSpace{16, 4}, 128 * 1024, cfg.seed));
+  EXPECT_TRUE(ex.run_to_completion(40 * kSecond));
+  return digest_of(ex);
+}
+
+TEST(AbIdentity, MeshFourDcGolden) {
+  const RunDigest want{80076ull,         8064000000,           282273678400ull,
+                       7853276802856749888ull, 2400ull, 0ull, 0ull, 0ull};
+  for (int shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const RunDigest got = run_mesh4(shards);
+    if (shards == 1)
+      print_or_check("mesh4_hetero", got, want);
     else
       EXPECT_EQ(got, want) << "sharded run diverged from the monolithic golden";
   }

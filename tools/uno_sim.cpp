@@ -1,7 +1,7 @@
 // uno_sim — command-line driver for ad-hoc simulations.
 //
 // Runs any catalogued scheme against any built-in workload on a configurable
-// two-DC topology and prints an FCT summary. Examples:
+// multi-DC topology and prints an FCT summary. Examples:
 //
 //   uno_sim --scheme uno --workload poisson --load 0.4 --duration-ms 5
 //   uno_sim --scheme gemini --workload incast --flows 8 --size-mb 16
@@ -25,6 +25,7 @@
 // write the result as JSON, exit 0 once the result is written (see
 // tools/uno_farm.cpp).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -124,6 +125,35 @@ void apply_sweep_value(const Sweep& sw, double v, RunParams* rp) {
   if (sw.key == "flows") rp->flows = static_cast<int>(v);
 }
 
+/// Check the topology flags main() cannot hand to build_config blindly:
+/// --hosts-per-dc must hit an exact fat-tree size, --cross-rtt must parse
+/// against --dcs, --paths must name a known mode. Called once up front so
+/// every entry point (single run, batch, farm cell) rejects bad values with
+/// exit 2 before any experiment is built.
+bool validate_topo_options(const OptionSet& opts, std::string* err) {
+  const int dcs = static_cast<int>(opts.num("dcs"));
+  if (dcs < 1) {
+    *err = "--dcs must be >= 1";
+    return false;
+  }
+  const auto hosts = static_cast<std::int64_t>(opts.num("hosts-per-dc"));
+  if (hosts > 0 && k_for_hosts(hosts) == 0) {
+    *err = "--hosts-per-dc " + std::to_string(hosts) +
+           " is not a fat-tree size (need k^3/4 for even k: 16, 128, 432, 1024, ...)";
+    return false;
+  }
+  if (opts.has("cross-rtt")) {
+    std::vector<Time> matrix;
+    if (!parse_cross_rtt(opts.str("cross-rtt"), dcs, &matrix, err)) return false;
+  }
+  const std::string paths = opts.str("paths");
+  if (paths != "flyweight" && paths != "legacy") {
+    *err = "unknown --paths mode: " + paths + " (flyweight | legacy)";
+    return false;
+  }
+  return true;
+}
+
 ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
                               const FaultPlan& faults, const ObsOptions& obs,
                               bool* scheme_ok) {
@@ -132,6 +162,8 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   cfg.seed = rp.seed;
   cfg.shards = static_cast<int>(opts.num("shards"));
   cfg.uno.fattree_k = static_cast<int>(opts.num("k"));
+  const auto hosts = static_cast<std::int64_t>(opts.num("hosts-per-dc"));
+  if (hosts > 0) cfg.uno.fattree_k = k_for_hosts(hosts);
   cfg.uno.num_dcs = static_cast<int>(opts.num("dcs"));
   cfg.uno.cross_links = static_cast<int>(opts.num("cross-links"));
   cfg.uno.ec_data = static_cast<int>(opts.num("ec-data"));
@@ -139,6 +171,14 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   if (rp.rtt_ratio > 0)
     cfg.uno.inter_rtt =
         static_cast<Time>(rp.rtt_ratio * static_cast<double>(cfg.uno.intra_rtt));
+  if (opts.has("cross-rtt")) {
+    // Validated in main() by validate_topo_options; a failure here would be
+    // a programming error, so the result is applied unconditionally.
+    std::string err;
+    parse_cross_rtt(opts.str("cross-rtt"), cfg.uno.num_dcs, &cfg.uno.inter_rtt_matrix,
+                    &err);
+  }
+  cfg.paths = opts.str("paths") == "legacy" ? PathMode::kLegacy : PathMode::kFlyweight;
   cfg.faults = faults;
   cfg.trace = obs.to_config();
   return cfg;
@@ -403,6 +443,10 @@ int main(int argc, char** argv) {
 
   if (opts.num("shards") < 0) {
     std::fprintf(stderr, "--shards must be >= 0 (0 = one shard per core)\n");
+    return 2;
+  }
+  if (!validate_topo_options(opts, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
 

@@ -23,6 +23,13 @@
 //                  (deep in-flight windows, EC framing, border queues)
 //   fault_flap     incast under a flapping border link (retransmit-timer
 //                  storms; exercises stale-entry compaction)
+//   allreduce      closed-loop inter-DC gradient sync through the Scenario
+//                  API (ScenarioHarness sync-grid stepping on the hot path)
+//   gpu_cluster    multi-job pipeline+data-parallel training: activation
+//                  chains, NVLink-delayed cross-DC gradient rings
+//   tornado        rotating shifted-permutation matrix (adversarial LB churn)
+//   rpc_churn      Poisson short-RPC storm (tiny flows, huge flow counts —
+//                  stresses flow setup/teardown, not steady-state transfer)
 //   sweep          15-point load sweep, independent sims via parallel_for
 //   shards         ONE perm_inter run at --shards 1 vs 2 (conservative PDES
 //                  along the DC seam, DESIGN.md §14): asserts the two runs
@@ -48,6 +55,7 @@
 #include "fec/gf256_simd.hpp"
 #include "fec/rs.hpp"
 #include "workload/cdf.hpp"
+#include "workload/scenario.hpp"
 
 using namespace uno;
 
@@ -122,6 +130,53 @@ ScenarioResult run_fault_flap(bool quick) {
   const double t0 = now_seconds();
   ex.run_to_completion(20 * kSecond);
   return finish("fault_flap", ex, now_seconds() - t0);
+}
+
+/// One registry scenario end-to-end through a ScenarioHarness: the same
+/// code path as `uno_sim --scenario NAME`, so these arms track the harness's
+/// sync-grid stepping cost alongside the raw event core.
+ScenarioResult run_scenario_arm(const char* name,
+                                const std::vector<ScenarioOption>& kvs,
+                                bool quick) {
+  ExperimentConfig cfg;
+  cfg.seed = bench::seed();
+  Experiment ex(cfg);
+  std::unique_ptr<Scenario> sc = ScenarioRegistry::instance().create(name);
+  std::string err;
+  if (sc == nullptr || !sc->set_options(kvs, &err) ||
+      !sc->init({bench::hosts_of(ex), cfg.seed, cfg.uno.link_rate, quick}, &err)) {
+    std::fprintf(stderr, "scenario %s: %s\n", name, err.c_str());
+    std::exit(2);
+  }
+  ScenarioHarness harness(ex, *sc);
+  const double t0 = now_seconds();
+  harness.run(20 * kSecond);
+  return finish(name, ex, now_seconds() - t0);
+}
+
+ScenarioResult run_scn_allreduce(bool quick) {
+  return run_scenario_arm("allreduce",
+                          {{"groups", "8"},
+                           {"size-mb", quick ? "4" : "32"},
+                           {"iterations", quick ? "2" : "4"}},
+                          quick);
+}
+
+ScenarioResult run_scn_gpu_cluster(bool quick) {
+  // Library defaults; --quick engages the scenario's own scaled-down preset.
+  return run_scenario_arm("gpu_cluster", {}, quick);
+}
+
+ScenarioResult run_scn_tornado(bool quick) {
+  return run_scenario_arm(
+      "tornado", {{"rounds", quick ? "2" : "4"}, {"size-mb", quick ? "0.25" : "1"}},
+      quick);
+}
+
+ScenarioResult run_scn_rpc_churn(bool quick) {
+  return run_scenario_arm(
+      "rpc_churn",
+      {{"active-hosts", "64"}, {"duration-ms", quick ? "1" : "5"}}, quick);
 }
 
 struct SweepResult {
@@ -418,6 +473,10 @@ int main(int argc, char** argv) {
   if (wanted("incast_intra")) results.push_back(best_of(reps, run_incast_intra, quick));
   if (wanted("perm_inter")) results.push_back(best_of(reps, run_perm_inter, quick));
   if (wanted("fault_flap")) results.push_back(best_of(reps, run_fault_flap, quick));
+  if (wanted("allreduce")) results.push_back(best_of(reps, run_scn_allreduce, quick));
+  if (wanted("gpu_cluster")) results.push_back(best_of(reps, run_scn_gpu_cluster, quick));
+  if (wanted("tornado")) results.push_back(best_of(reps, run_scn_tornado, quick));
+  if (wanted("rpc_churn")) results.push_back(best_of(reps, run_scn_rpc_churn, quick));
 
   Table t({"scenario", "events", "wall s", "Mev/s", "ns/event", "sim ms", "flows"});
   for (const ScenarioResult& r : results) {

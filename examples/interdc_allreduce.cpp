@@ -5,11 +5,15 @@
 // The demo compares Uno against Gemini on iteration time, then injects a
 // border-link failure to show UnoRC keeping iterations close to ideal.
 //
+// Uses the 'allreduce' Scenario driven by a ScenarioHarness — the same
+// closed-loop driver `uno_sim --scenario allreduce` runs; the retired
+// AllreduceDriver SpawnFn wiring is gone.
+//
 //   $ ./interdc_allreduce
 #include <cstdio>
 
 #include "core/experiment.hpp"
-#include "workload/allreduce.hpp"
+#include "workload/scenario_lib.hpp"
 
 using namespace uno;
 
@@ -25,23 +29,24 @@ RunResult run(const SchemeSpec& scheme, bool fail_link) {
   cfg.scheme = scheme;
   Experiment ex(cfg);
 
-  AllreduceDriver::Config ar;
-  ar.groups = 8;                          // 8 replica pairs
-  ar.bytes_per_iteration = 32ull << 20;   // gradient bytes (scaled; paper 70-500 MiB)
-  ar.iterations = 6;
-  ar.compute_time = 500 * kMicrosecond;   // backward-pass gap
-  ar.hosts_per_dc = ex.topo().hosts_per_dc();
-
   if (fail_link) ex.topo().cross_link(0, 1).set_up(false);
 
-  AllreduceDriver driver(ex.eq(), ar,
-                         [&ex](const FlowSpec& s, auto done) { ex.spawn(s, std::move(done)); });
-  driver.start();
-  while (!driver.finished() && ex.eq().now() < 4 * kSecond && !ex.eq().empty())
-    ex.run_until(ex.eq().now() + 2 * kMillisecond);
+  AllreduceScenario ar;
+  std::string err;
+  if (!ar.set_options({{"groups", "8"},        // 8 replica pairs
+                       {"size-mb", "32"},      // gradient bytes (paper 70-500 MiB)
+                       {"iterations", "6"},
+                       {"compute-us", "500"}}, // backward-pass gap
+                      &err) ||
+      !ar.init({{ex.topo().hosts_per_dc(), ex.topo().num_dcs()}, cfg.seed}, &err)) {
+    std::fprintf(stderr, "allreduce scenario: %s\n", err.c_str());
+    return {};
+  }
+  ScenarioHarness harness(ex, ar);
+  harness.run(4 * kSecond);
 
-  return {driver.iteration_times(),
-          driver.ideal_iteration_time(
+  return {ar.iteration_times(),
+          ar.ideal_iteration_time(
               static_cast<Bandwidth>(ex.topo().cross_link_count()) * 100 * kGbps,
               2 * kMillisecond)};
 }

@@ -215,6 +215,31 @@ std::string OptionSet::suggest(const std::string& name) const {
   return best;
 }
 
+namespace {
+
+std::string render_option_line(const std::string& left, const std::string& help_in,
+                               const std::string& def, std::size_t width, int lead) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%*s%-*s  ", lead, "", static_cast<int>(width),
+                left.c_str());
+  std::string line = buf;
+  // Multi-line help: continuation lines align under the first.
+  const std::string indent(line.size(), ' ');
+  const std::string& help = help_in;
+  std::size_t pos = 0, nl = 0;
+  bool first = true;
+  while ((nl = help.find('\n', pos)) != std::string::npos) {
+    line += (first ? "" : indent) + help.substr(pos, nl - pos) + "\n";
+    pos = nl + 1;
+    first = false;
+  }
+  line += (first ? "" : indent) + help.substr(pos);
+  if (!def.empty()) line += "  [" + def + "]";
+  return line + "\n";
+}
+
+}  // namespace
+
 std::string OptionSet::help_text() const {
   std::string out = program_ + " — " + summary_ + "\n\nusage: " + program_ +
                     " [--flag | --key value | --key=value]...\n";
@@ -247,23 +272,32 @@ std::string OptionSet::help_text() const {
       } else if (o.type == Type::kStr) {
         def = o.str_def.empty() ? "-" : o.str_def;
       }
-      // Multi-line help: continuation lines align under the first.
-      std::string line;
-      std::snprintf(buf, sizeof(buf), "  %-*s  ", static_cast<int>(width), left.c_str());
-      line = buf;
-      const std::string indent(line.size(), ' ');
-      std::string help = o.help;
-      std::size_t pos = 0, nl = 0;
-      bool first = true;
-      while ((nl = help.find('\n', pos)) != std::string::npos) {
-        line += (first ? "" : indent) + help.substr(pos, nl - pos) + "\n";
-        pos = nl + 1;
-        first = false;
-      }
-      line += (first ? "" : indent) + help.substr(pos);
-      if (!def.empty()) line += "  [" + def + "]";
-      out += line + "\n";
+      out += render_option_line(left, o.help, def, width, 2);
     }
+  }
+  return out;
+}
+
+std::string OptionSet::option_lines(int indent) const {
+  std::size_t width = 0;
+  for (const Opt& o : opts_) {
+    std::size_t w = 2 + o.name.size();
+    if (!o.value_name.empty()) w += 1 + o.value_name.size();
+    width = std::max(width, w);
+  }
+  char buf[256];
+  std::string out;
+  for (const Opt& o : opts_) {
+    std::string left = "--" + o.name;
+    if (!o.value_name.empty()) left += " " + o.value_name;
+    std::string def;
+    if (o.type == Type::kNum) {
+      std::snprintf(buf, sizeof(buf), "%g", o.num_def);
+      def = buf;
+    } else if (o.type == Type::kStr) {
+      def = o.str_def.empty() ? "-" : o.str_def;
+    }
+    out += render_option_line(left, o.help, def, width, indent);
   }
   return out;
 }

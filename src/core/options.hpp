@@ -46,6 +46,10 @@ class OptionSet {
 
   /// The full generated help text (header + one aligned block per group).
   std::string help_text() const;
+  /// Just the aligned option lines (no header, groups flattened), each
+  /// prefixed with `indent` spaces — for embedding a table into another
+  /// tool's help (the scenario registry's per-scenario blocks).
+  std::string option_lines(int indent) const;
 
   // --- table introspection (the farm's spec↔OptionSet bridge) --------------
 

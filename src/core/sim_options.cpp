@@ -11,7 +11,24 @@ OptionSet make_sim_options() {
   opts.add_str("scheme", "uno", "NAME",
                "uno | uno+ecmp | uno-noec | gemini | mprdma+bbr |\n"
                "swift+bbr | dctcp | unocc+rps | unocc+plb | unocc+reps");
-  opts.add_str("workload", "poisson", "NAME", "poisson | incast | permutation | replay");
+  opts.add_str("workload", "poisson", "NAME",
+               "legacy spelling of --scenario (same registry; --scenario\n"
+               "wins when both are given)");
+  opts.add_str("scenario", "", "NAME",
+               "workload scenario from the registry (see --list-scenarios);\n"
+               "top-level knobs below forward into it when set");
+  opts.add_str("scenario-opt", "", "LIST",
+               "scenario-scoped options, key=value[,key=value...];\n"
+               "applied after forwarded top-level knobs (last wins)");
+  opts.add_flag("list-scenarios",
+                "print the scenario registry (names, summaries, scoped\n"
+                "options) and exit");
+  opts.add_flag("quick",
+                "CI smoke preset: k=4 topology unless sized explicitly and\n"
+                "scaled-down scenario defaults (explicit options still win)");
+  opts.add_flag("digest",
+                "print a one-line run digest (event count, FCT hash) for\n"
+                "determinism checks across --shards/--jobs");
   opts.add_num("seed", 1, "N", "RNG seed");
   opts.add_num("deadline-ms", 1000, "F", "simulation deadline");
   opts.add_num("shards", 1, "N",

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+// This TU *implements* the deprecated driver; the warning is for callers.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace uno {
 
 AllreduceDriver::AllreduceDriver(EventQueue& eq, const Config& cfg, SpawnFn spawn)

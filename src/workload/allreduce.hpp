@@ -20,7 +20,10 @@
 
 namespace uno {
 
-class AllreduceDriver final : public EventHandler {
+class [[deprecated(
+    "use the 'allreduce' Scenario (workload/scenario_lib.hpp) driven by a "
+    "ScenarioHarness; the SpawnFn wiring is retired")]] AllreduceDriver final
+    : public EventHandler {
  public:
   struct Config {
     int groups = 8;                       // parallel allreduce rings

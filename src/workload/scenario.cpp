@@ -1,0 +1,202 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/experiment.hpp"
+
+namespace uno {
+
+bool parse_scenario_opts(const std::string& text, std::vector<ScenarioOption>* out,
+                         std::string* err) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    const auto eq = item.find('=');
+    if (eq == 0 || eq == std::string::npos) {
+      *err = "malformed scenario option '" + item + "' (expected key=value)";
+      return false;
+    }
+    out->emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return true;
+}
+
+Scenario::Scenario(std::string name, std::string summary)
+    : opts_(name, summary), name_(std::move(name)), summary_(std::move(summary)) {}
+
+bool Scenario::set_options(const std::vector<ScenarioOption>& kvs, std::string* err) {
+  // Reuse the OptionSet parser (types, did-you-mean, flag handling) by
+  // rendering each assignment as a --key=value token. Later entries
+  // overwrite earlier ones, which is exactly the forwarding precedence.
+  std::vector<std::string> tokens;
+  tokens.reserve(kvs.size() + 1);
+  tokens.push_back(name_);
+  for (const auto& [k, v] : kvs) {
+    if (opts_.known(k) && opts_.type_of(k) == OptionSet::Type::kFlag &&
+        (v == "true" || v == "1")) {
+      tokens.push_back("--" + k);  // flags take no value
+      continue;
+    }
+    if (opts_.known(k) && opts_.type_of(k) == OptionSet::Type::kFlag &&
+        (v == "false" || v == "0")) {
+      continue;  // absent flag == false; nothing to set
+    }
+    tokens.push_back("--" + k + "=" + v);
+  }
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+  return opts_.parse(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* reg = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::find(const std::string& name) const {
+  std::string key = name;
+  for (const auto& [alias, target] : aliases_)
+    if (alias == key) key = target;
+  for (const Entry& e : entries_)
+    if (e.name == key) return &e;
+  return nullptr;
+}
+
+bool ScenarioRegistry::add(Factory factory) {
+  std::unique_ptr<Scenario> probe = factory();
+  assert(probe != nullptr);
+  if (find(probe->name()) != nullptr) return false;
+  entries_.push_back({probe->name(), probe->summary(), factory});
+  return true;
+}
+
+bool ScenarioRegistry::add_alias(const std::string& alias, const std::string& target) {
+  if (find(alias) != nullptr || find(target) == nullptr) return false;
+  aliases_.emplace_back(alias, target);
+  return true;
+}
+
+std::unique_ptr<Scenario> ScenarioRegistry::create(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->factory() : nullptr;
+}
+
+bool ScenarioRegistry::known(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string ScenarioRegistry::suggest(const std::string& name) const {
+  std::string best;
+  std::size_t best_d = name.size();
+  auto consider = [&](const std::string& candidate) {
+    const std::size_t d = OptionSet::edit_distance(name, candidate);
+    if (d < best_d) {
+      best_d = d;
+      best = candidate;
+    }
+  };
+  for (const Entry& e : entries_) consider(e.name);
+  for (const auto& [alias, target] : aliases_) consider(alias);
+  if (best_d > 3 || best_d * 2 > std::max<std::size_t>(2, name.size())) return {};
+  return best;
+}
+
+std::string ScenarioRegistry::help_text() const {
+  std::string out =
+      "scenarios (--scenario NAME; scoped options via "
+      "--scenario-opt key=value[,key=value...]):\n";
+  for (const Entry& e : entries_) {
+    std::unique_ptr<Scenario> sc = e.factory();
+    out += "\n  " + e.name + " — " + e.summary + "\n";
+    out += sc->options().option_lines(4);
+  }
+  for (const auto& [alias, target] : aliases_)
+    out += "\n  " + alias + " — alias of " + target + "\n";
+  return out;
+}
+
+ScenarioHarness::ScenarioHarness(Experiment& ex, Scenario& sc)
+    : ex_(ex), sc_(sc),
+      hosts_{ex.topo().hosts_per_dc(), ex.topo().num_dcs()} {}
+
+void ScenarioHarness::spawn(FlowSpec spec, std::uint64_t tag) {
+  if (spec.start_time < cursor_) spec.start_time = cursor_;
+  spec.interdc = hosts_.dc_of(spec.src) != hosts_.dc_of(spec.dst);
+  ++spawn_count_;
+  FlowSender& sender =
+      ex_.spawn(spec, [this](const FlowResult& r) { parked_.push_back(r); });
+  if (tag != 0) tags_.emplace(sender.params().id, tag);
+}
+
+void ScenarioHarness::deliver() {
+  if (parked_.empty()) return;
+  // Canonical delivery order: a pure function of simulation content, never
+  // of shard interleaving (monolithic callbacks fire in time order, sharded
+  // ones drain in shard order — both land here before the sort).
+  std::sort(parked_.begin(), parked_.end(), [](const FlowResult& a, const FlowResult& b) {
+    const Time fa = flow_finish_time(a), fb = flow_finish_time(b);
+    return fa != fb ? fa < fb : a.id < b.id;
+  });
+  std::vector<FlowResult> batch;
+  batch.swap(parked_);  // on_flow_complete spawns may complete... never
+                        // synchronously, but keep the buffer reentrant-safe
+  for (const FlowResult& r : batch) {
+    std::uint64_t tag = 0;
+    if (auto it = tags_.find(r.id); it != tags_.end()) {
+      tag = it->second;
+      tags_.erase(it);
+    }
+    sc_.on_flow_complete(r, tag, *this);
+  }
+}
+
+void ScenarioHarness::begin() {
+  if (started_) return;
+  started_ = true;
+  cursor_ = ex_.now();
+  sc_.start(*this);
+}
+
+bool ScenarioHarness::run(Time deadline) {
+  begin();
+  // The same chunk grid as Experiment::run_to_completion — and like it,
+  // identical monolithic and sharded: both run_until flavors land their
+  // clocks exactly on the target, so sync points (and therefore every
+  // scenario reaction) are shard-count independent.
+  const Time chunk =
+      std::max<Time>(ex_.config().uno.intra_rtt * 16, 100 * kMicrosecond);
+  while (cursor_ < deadline) {
+    if (sc_.done() && ex_.all_complete() && parked_.empty()) break;
+    const std::size_t spawned_before = ex_.flows_spawned();
+    cursor_ = std::min(deadline, cursor_ + chunk);
+    ex_.run_until(cursor_);
+    deliver();
+    // Stall guard: nothing in flight, nothing parked, and the scenario
+    // reacted to this window by spawning nothing — it never will again.
+    if (!sc_.done() && ex_.all_complete() && parked_.empty() &&
+        ex_.flows_spawned() == spawned_before)
+      break;
+  }
+  // Canonical result order in every mode (same contract as
+  // run_to_completion): recording order is a shard artifact.
+  ex_.fct().canonicalize();
+  return sc_.done() && ex_.all_complete();
+}
+
+}  // namespace uno

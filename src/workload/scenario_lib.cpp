@@ -1,0 +1,675 @@
+// The built-in scenario library: the three legacy workloads ported onto the
+// Scenario API plus the v2 additions — GPU-cluster training, adversarial
+// shift/tornado matrices, and Poisson RPC churn (DESIGN.md §16).
+#include "workload/scenario_lib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/cdf.hpp"
+
+namespace uno {
+
+namespace {
+
+std::uint64_t mb_to_bytes(double mb) {
+  return static_cast<std::uint64_t>(std::max(1.0, mb * (1 << 20)));
+}
+
+double mean_us(const std::vector<Time>& ts) {
+  if (ts.empty()) return 0;
+  double sum = 0;
+  for (Time t : ts) sum += to_microseconds(t);
+  return sum / static_cast<double>(ts.size());
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop ports of the three legacy uno_sim workloads. Option names and
+// defaults deliberately match the old top-level knobs so forwarded legacy
+// flags reproduce the old runs bit for bit.
+
+class PoissonScenario final : public Scenario {
+ public:
+  PoissonScenario()
+      : Scenario("poisson",
+                 "Poisson mixed intra+inter-DC traffic at controlled load "
+                 "(websearch/Alibaba-WAN CDFs, Figs 10-12)") {
+    opts_.add_num("load", 0.4, "F", "offered load fraction of host line rate");
+    opts_.add_num("duration-ms", 5, "F", "arrival window");
+    opts_.add_num("active-hosts", 64, "N", "participants (0 = all hosts)");
+    opts_.add_num("size-scale", 1.0 / 32.0, "F", "scale factor for both CDFs");
+    opts_.add_num("dc-wan-ratio", 4, "F", "intra:inter byte ratio (paper: 4:1)");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.poisson.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    PoissonConfig pc;
+    pc.load = opts_.num("load");
+    pc.duration = static_cast<Time>(opts_.num("duration-ms") * kMillisecond);
+    if (env().quick && !opts_.has("duration-ms")) pc.duration = kMillisecond;
+    pc.active_hosts = static_cast<int>(opts_.num("active-hosts"));
+    pc.dc_wan_ratio = opts_.num("dc-wan-ratio");
+    pc.host_rate = env().host_rate;
+    pc.seed = env().seed;
+    if (pc.load <= 0 || pc.duration <= 0) {
+      *err = "poisson: load and duration-ms must be positive";
+      return false;
+    }
+    const double ss = opts_.num("size-scale");
+    specs_ = make_poisson_mixed(env().hosts, EmpiricalCdf::websearch().scaled(ss),
+                                EmpiricalCdf::alibaba_wan().scaled(ss), pc);
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+class IncastScenario final : public Scenario {
+ public:
+  IncastScenario()
+      : Scenario("incast",
+                 "N synchronized senders into one receiver, half intra- half "
+                 "inter-DC (Figs 3 and 8)") {
+    opts_.add_num("flows", 8, "N", "senders (half intra, half inter)");
+    opts_.add_num("size-mb", 8, "F", "bytes per sender");
+    opts_.add_num("receiver", 0, "N", "receiver host id");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.incast.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    const int n = static_cast<int>(opts_.num("flows"));
+    const int receiver = static_cast<int>(opts_.num("receiver"));
+    double mb = opts_.num("size-mb");
+    if (env().quick && !opts_.has("size-mb")) mb = 1;
+    if (n < 1) {
+      *err = "incast: flows must be >= 1";
+      return false;
+    }
+    if (receiver < 0 || receiver >= env().hosts.total()) {
+      *err = "incast: receiver out of range";
+      return false;
+    }
+    specs_ = make_incast(env().hosts, receiver, n / 2, n - n / 2, mb_to_bytes(mb));
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+class PermutationScenario final : public Scenario {
+ public:
+  PermutationScenario()
+      : Scenario("permutation",
+                 "random permutation: every host sends one flow to a distinct "
+                 "peer across both DCs (Fig 9)") {
+    opts_.add_num("size-mb", 8, "F", "bytes per flow");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.permutation.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    (void)err;
+    double mb = opts_.num("size-mb");
+    if (env().quick && !opts_.has("size-mb")) mb = 1;
+    specs_ = make_permutation(env().hosts, mb_to_bytes(mb), env().seed);
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+class ReplayScenario final : public Scenario {
+ public:
+  ReplayScenario()
+      : Scenario("replay", "replay a recorded flow list from a CSV trace") {
+    opts_.add_str("file", "", "FILE", "CSV of src,dst,bytes,start_us");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.replay.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    const std::string file = opts_.str("file");
+    if (file.empty()) {
+      *err = "replay scenario requires file=PATH (--scenario-opt file=trace.csv)";
+      return false;
+    }
+    try {
+      specs_ = load_flow_specs_csv(file, env().hosts);
+    } catch (const std::exception& e) {
+      *err = e.what();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+// ---------------------------------------------------------------------------
+// Adversarial matrices: deterministic shifted permutations. `shift` is the
+// single-shot matrix; `tornado` rotates the shift every round, the classic
+// worst case for static load balancing.
+
+std::vector<FlowSpec> make_shift_round(const HostSpace& hosts, int shift,
+                                       double inter_frac, std::uint64_t bytes,
+                                       Time start, int round) {
+  std::vector<FlowSpec> specs;
+  const int hpd = hosts.hosts_per_dc;
+  const int n_inter =
+      hosts.num_dcs > 1
+          ? std::clamp(static_cast<int>(std::lround(inter_frac * hpd)), 0, hpd)
+          : 0;
+  for (int d = 0; d < hosts.num_dcs; ++d) {
+    for (int local = 0; local < hpd; ++local) {
+      int dst_local = ((local + shift) % hpd + hpd) % hpd;
+      // The first n_inter local ids aim at the rotating next DC; everyone
+      // else stays inside their DC.
+      int dst_dc = d;
+      if (local < n_inter)
+        dst_dc = (d + 1 + round % (hosts.num_dcs - 1)) % hosts.num_dcs;
+      if (dst_dc == d && dst_local == local) dst_local = (dst_local + 1) % hpd;
+      const int src = d * hpd + local;
+      const int dst = dst_dc * hpd + dst_local;
+      specs.push_back({src, dst, bytes, start, dst_dc != d});
+    }
+  }
+  return specs;
+}
+
+class ShiftScenario final : public Scenario {
+ public:
+  ShiftScenario()
+      : Scenario("shift",
+                 "shifted-permutation adversarial matrix: host i sends to "
+                 "i+stride, a fixed fraction crossing into the next DC") {
+    opts_.add_num("stride", 1, "N", "destination shift within the DC");
+    opts_.add_num("inter-frac", 0.25, "F", "fraction of hosts sending inter-DC");
+    opts_.add_num("size-mb", 8, "F", "bytes per flow");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.shift.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    (void)err;
+    double mb = opts_.num("size-mb");
+    if (env().quick && !opts_.has("size-mb")) mb = 1;
+    specs_ = make_shift_round(env().hosts, static_cast<int>(opts_.num("stride")),
+                              opts_.num("inter-frac"), mb_to_bytes(mb), 0, 0);
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+class TornadoScenario final : public Scenario {
+ public:
+  TornadoScenario()
+      : Scenario("tornado",
+                 "rotating shifted-permutation rounds (shift grows each "
+                 "round) — the adversarial matrix for static load balancing") {
+    opts_.add_num("stride", 1, "N", "base destination shift");
+    opts_.add_num("rounds", 4, "N", "matrix rotations");
+    opts_.add_num("gap-us", 0, "F", "delay between round starts (0 = burst)");
+    opts_.add_num("inter-frac", 0.25, "F", "fraction of hosts sending inter-DC");
+    opts_.add_num("size-mb", 4, "F", "bytes per flow");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.tornado.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    int rounds = static_cast<int>(opts_.num("rounds"));
+    double mb = opts_.num("size-mb");
+    if (env().quick && !opts_.has("rounds")) rounds = 2;
+    if (env().quick && !opts_.has("size-mb")) mb = 1;
+    if (rounds < 1) {
+      *err = "tornado: rounds must be >= 1";
+      return false;
+    }
+    const int stride = static_cast<int>(opts_.num("stride"));
+    const auto gap = static_cast<Time>(opts_.num("gap-us") * kMicrosecond);
+    specs_.clear();
+    for (int r = 0; r < rounds; ++r) {
+      auto round = make_shift_round(env().hosts, stride + r, opts_.num("inter-frac"),
+                                    mb_to_bytes(mb), static_cast<Time>(r) * gap, r);
+      specs_.insert(specs_.end(), round.begin(), round.end());
+    }
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+// ---------------------------------------------------------------------------
+// Poisson short-RPC churn across N DCs: millions of user-request-sized flows
+// (Google RPC CDF) at controlled load — the slab-flow-state stress workload.
+
+class RpcChurnScenario final : public Scenario {
+ public:
+  RpcChurnScenario()
+      : Scenario("rpc_churn",
+                 "open-loop Poisson churn of short RPC-sized flows across all "
+                 "DCs at controlled load") {
+    opts_.add_num("load", 0.2, "F", "offered load fraction of host line rate");
+    opts_.add_num("duration-ms", 5, "F", "arrival window");
+    opts_.add_num("inter-frac", 0.1, "F", "probability an RPC crosses DCs");
+    opts_.add_num("active-hosts", 0, "N", "participants (0 = all hosts)");
+    opts_.add_num("size-scale", 1, "F", "scale factor for the RPC CDF");
+  }
+
+  void start(ScenarioHarness& h) override {
+    for (const FlowSpec& s : specs_) h.spawn(s);
+  }
+  void report(MetricRegistry& m) const override {
+    m.set_counter("scenario.rpc_churn.flows", specs_.size());
+  }
+
+ protected:
+  bool resolve(std::string* err) override {
+    const HostSpace& hosts = env().hosts;
+    const double load = opts_.num("load");
+    Time duration = static_cast<Time>(opts_.num("duration-ms") * kMillisecond);
+    if (env().quick && !opts_.has("duration-ms")) duration = kMillisecond;
+    const double inter_frac = opts_.num("inter-frac");
+    if (load <= 0 || duration <= 0) {
+      *err = "rpc_churn: load and duration-ms must be positive";
+      return false;
+    }
+    if (inter_frac < 0 || inter_frac > 1) {
+      *err = "rpc_churn: inter-frac must be in [0, 1]";
+      return false;
+    }
+    const int active = static_cast<int>(opts_.num("active-hosts"));
+    const int pool = active > 0 ? std::min(active, hosts.total()) : hosts.total();
+    const int per_dc = std::max(1, pool / hosts.num_dcs);
+    const EmpiricalCdf sizes = EmpiricalCdf::google_rpc().scaled(opts_.num("size-scale"));
+    const double aggregate_Bps = load * static_cast<double>(pool) *
+                                 static_cast<double>(env().host_rate) / 8.0;
+    const double mean_gap_ps =
+        static_cast<double>(kSecond) / (aggregate_Bps / sizes.mean());
+
+    specs_.clear();
+    Rng rng = Rng::stream(env().seed, 707);
+    double t = rng.exponential(mean_gap_ps);
+    while (t < static_cast<double>(duration)) {
+      const int sdc = static_cast<int>(rng.uniform_below(hosts.num_dcs));
+      int ddc = sdc;
+      if (hosts.num_dcs > 1 && rng.uniform() < inter_frac)
+        ddc = (sdc + 1 +
+               (hosts.num_dcs > 2
+                    ? static_cast<int>(rng.uniform_below(hosts.num_dcs - 1))
+                    : 0)) %
+              hosts.num_dcs;
+      int src = sdc * hosts.hosts_per_dc + static_cast<int>(rng.uniform_below(per_dc));
+      int dst = ddc * hosts.hosts_per_dc + static_cast<int>(rng.uniform_below(per_dc));
+      while (dst == src)
+        dst = ddc * hosts.hosts_per_dc + static_cast<int>(rng.uniform_below(per_dc));
+      const auto size = static_cast<std::uint64_t>(std::max(1.0, sizes.sample(rng)));
+      specs_.push_back({src, dst, size, static_cast<Time>(t), ddc != sdc});
+      t += rng.exponential(mean_gap_ps);
+    }
+    return true;
+  }
+
+ private:
+  std::vector<FlowSpec> specs_;
+};
+
+template <class T>
+std::unique_ptr<Scenario> make_scenario() {
+  return std::make_unique<T>();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AllreduceScenario (closed-loop)
+
+AllreduceScenario::AllreduceScenario()
+    : Scenario("allreduce",
+               "closed-loop inter-DC data-parallel gradient sync: grouped "
+               "RS+AG exchanges, next iteration gated on the last transfer "
+               "(Fig 13C)") {
+  opts_.add_num("groups", 8, "N", "parallel allreduce rings (host pairs)");
+  opts_.add_num("size-mb", 64, "F", "gradient bytes per iteration");
+  opts_.add_num("iterations", 10, "N", "training iterations");
+  opts_.add_num("compute-us", 0, "F", "compute gap between iterations");
+}
+
+bool AllreduceScenario::resolve(std::string* err) {
+  groups_ = static_cast<int>(opts_.num("groups"));
+  iterations_ = static_cast<int>(opts_.num("iterations"));
+  double mb = opts_.num("size-mb");
+  if (env().quick) {
+    if (!opts_.has("size-mb")) mb = 4;
+    if (!opts_.has("iterations")) iterations_ = 2;
+  }
+  bytes_per_iteration_ = mb_to_bytes(mb);
+  compute_time_ = static_cast<Time>(opts_.num("compute-us") * kMicrosecond);
+  if (groups_ < 1 || iterations_ < 1) {
+    *err = "allreduce: groups and iterations must be >= 1";
+    return false;
+  }
+  if (env().hosts.num_dcs < 2) {
+    *err = "allreduce: needs at least 2 DCs";
+    return false;
+  }
+  return true;
+}
+
+void AllreduceScenario::start(ScenarioHarness& h) { start_iteration(h, h.now()); }
+
+void AllreduceScenario::start_iteration(ScenarioHarness& h, Time start) {
+  iteration_start_ = std::max(start, h.now());
+  last_completion_ = 0;
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(bytes_per_iteration_ / static_cast<unsigned>(groups_), 1);
+  const int hpd = env().hosts.hosts_per_dc;
+  // ReduceScatter then AllGather: two chunk transfers in each direction per
+  // group pair, all concurrent; the iteration ends when the last completes.
+  outstanding_ = 0;
+  for (int g = 0; g < groups_; ++g) {
+    const int a = g % hpd;        // host in DC 0
+    const int b = hpd + g % hpd;  // host in DC 1
+    for (int phase = 0; phase < 2; ++phase) {  // RS and AG
+      for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+        ++outstanding_;
+        h.spawn({src, dst, chunk, iteration_start_, true}, /*tag=*/1);
+      }
+    }
+  }
+}
+
+void AllreduceScenario::on_flow_complete(const FlowResult& r, std::uint64_t,
+                                         ScenarioHarness& h) {
+  last_completion_ = std::max(last_completion_, flow_finish_time(r));
+  if (--outstanding_ > 0) return;
+  iteration_times_.push_back(last_completion_ - iteration_start_);
+  if (static_cast<int>(iteration_times_.size()) < iterations_)
+    start_iteration(h, last_completion_ + compute_time_);
+}
+
+bool AllreduceScenario::done() const {
+  return static_cast<int>(iteration_times_.size()) == iterations_;
+}
+
+void AllreduceScenario::report(MetricRegistry& m) const {
+  m.set_counter("scenario.allreduce.iterations", iteration_times_.size());
+  m.set_gauge("scenario.allreduce.mean_iter_us", mean_us(iteration_times_));
+}
+
+Time AllreduceScenario::ideal_iteration_time(Bandwidth cut_rate, Time inter_rtt) const {
+  const std::uint64_t bytes_each_way = 2 * bytes_per_iteration_;  // RS + AG
+  return serialization_time(static_cast<std::int64_t>(bytes_each_way), cut_rate) +
+         inter_rtt;
+}
+
+// ---------------------------------------------------------------------------
+// GpuClusterScenario (closed-loop)
+//
+// Tag layout: kind(1=fwd,2=bwd,3=grad) << 32 | job << 24 | dc << 16 |
+// microbatch << 8 | hop. Forward hop h carries one microbatch's activations
+// from stage h to h+1; backward hop h returns the aggregated wave from stage
+// h+1 to h; gradient flows are the cross-DC ring exchanges per bucket.
+
+namespace {
+constexpr std::uint64_t kFwd = 1, kBwd = 2, kGrad = 3;
+std::uint64_t gpu_tag(std::uint64_t kind, int job, int dc, int mb, int hop) {
+  return (kind << 32) | (static_cast<std::uint64_t>(job) << 24) |
+         (static_cast<std::uint64_t>(dc) << 16) |
+         (static_cast<std::uint64_t>(mb) << 8) | static_cast<std::uint64_t>(hop);
+}
+}  // namespace
+
+GpuClusterScenario::GpuClusterScenario()
+    : Scenario("gpu_cluster",
+               "multi-job pipeline+data-parallel training: activation chains "
+               "per DC, backward wave, per-bucket cross-DC gradient allreduce "
+               "overlapped with backward compute; GPUs locally reduce over an "
+               "NVLink-class interconnect before the NIC") {
+  opts_.add_num("jobs", 2, "N", "concurrent training jobs");
+  opts_.add_num("pp-stages", 4, "N", "pipeline stages per replica (>= 2)");
+  opts_.add_num("microbatches", 4, "N", "microbatches per iteration");
+  opts_.add_num("buckets", 4, "N", "gradient buckets per stage (overlap grain)");
+  opts_.add_num("iterations", 2, "N", "training iterations");
+  opts_.add_num("act-mb", 4, "F", "activation bytes per microbatch per hop");
+  opts_.add_num("size-mb", 64, "F", "gradient bytes per replica per iteration");
+  opts_.add_num("gpus-per-host", 8, "N", "GPUs sharing one host NIC");
+  opts_.add_num("nvlink-gbps", 900, "F", "intra-host interconnect rate");
+  opts_.add_num("compute-us", 50, "F", "compute gap between iterations");
+}
+
+bool GpuClusterScenario::resolve(std::string* err) {
+  jobs_ = static_cast<int>(opts_.num("jobs"));
+  pp_stages_ = static_cast<int>(opts_.num("pp-stages"));
+  microbatches_ = static_cast<int>(opts_.num("microbatches"));
+  buckets_ = static_cast<int>(opts_.num("buckets"));
+  iterations_ = static_cast<int>(opts_.num("iterations"));
+  gpus_per_host_ = static_cast<int>(opts_.num("gpus-per-host"));
+  double act_mb = opts_.num("act-mb");
+  double grad_mb = opts_.num("size-mb");
+  if (env().quick) {
+    if (!opts_.has("act-mb")) act_mb = 1;
+    if (!opts_.has("size-mb")) grad_mb = 8;
+    if (!opts_.has("iterations")) iterations_ = 1;
+    if (!opts_.has("microbatches")) microbatches_ = 2;
+  }
+  act_bytes_ = mb_to_bytes(act_mb);
+  grad_bytes_ = mb_to_bytes(grad_mb);
+  nvlink_rate_ = static_cast<Bandwidth>(opts_.num("nvlink-gbps") * kGbps);
+  compute_time_ = static_cast<Time>(opts_.num("compute-us") * kMicrosecond);
+  if (jobs_ < 1 || microbatches_ < 1 || buckets_ < 1 || iterations_ < 1 ||
+      gpus_per_host_ < 1 || nvlink_rate_ <= 0) {
+    *err = "gpu_cluster: jobs/microbatches/buckets/iterations/gpus-per-host/"
+           "nvlink-gbps must be positive";
+    return false;
+  }
+  if (pp_stages_ < 2) {
+    *err = "gpu_cluster: pp-stages must be >= 2 (a 1-stage pipeline has no "
+           "activation traffic)";
+    return false;
+  }
+  if (env().hosts.num_dcs < 2) {
+    *err = "gpu_cluster: data parallelism spans DCs; needs at least 2";
+    return false;
+  }
+  if (jobs_ * pp_stages_ > env().hosts.hosts_per_dc) {
+    *err = "gpu_cluster: jobs*pp-stages exceeds hosts per DC (" +
+           std::to_string(env().hosts.hosts_per_dc) + ")";
+    return false;
+  }
+  if (microbatches_ > 255 || pp_stages_ > 255 || jobs_ > 255) {
+    *err = "gpu_cluster: jobs, pp-stages and microbatches must fit in 8 bits";
+    return false;
+  }
+  return true;
+}
+
+int GpuClusterScenario::stage_host(int job, int stage, int dc) const {
+  return dc * env().hosts.hosts_per_dc + job * pp_stages_ + stage;
+}
+
+Time GpuClusterScenario::nvlink_delay() const {
+  // Local ring reduce of one stage's gradient shard across the host's GPUs:
+  // bytes * (g-1)/g cross the NVLink-class interconnect before the NIC flow
+  // can start.
+  const auto per_stage =
+      static_cast<std::int64_t>(grad_bytes_ / static_cast<unsigned>(pp_stages_));
+  return serialization_time(per_stage * (gpus_per_host_ - 1) / gpus_per_host_,
+                            nvlink_rate_);
+}
+
+void GpuClusterScenario::start(ScenarioHarness& h) { start_iteration(h, h.now()); }
+
+void GpuClusterScenario::start_iteration(ScenarioHarness& h, Time start) {
+  iteration_start_ = std::max(start, h.now());
+  last_completion_ = 0;
+  jobs_finished_ = 0;
+  const int num_dcs = env().hosts.num_dcs;
+  job_state_.assign(static_cast<std::size_t>(jobs_), Job{});
+  for (Job& j : job_state_) {
+    j.fwd_arrived.assign(static_cast<std::size_t>(num_dcs), 0);
+    j.grad_ready.assign(static_cast<std::size_t>(pp_stages_), 0);
+    j.grad_ready_time.assign(static_cast<std::size_t>(pp_stages_), 0);
+    // Per stage: buckets x 2 ring phases x one flow per DC hop.
+    j.grad_outstanding = pp_stages_ * buckets_ * 2 * num_dcs;
+  }
+  for (int job = 0; job < jobs_; ++job)
+    for (int dc = 0; dc < num_dcs; ++dc)
+      spawn_fwd(h, job, dc, /*mb=*/0, /*hop=*/0, iteration_start_);
+}
+
+void GpuClusterScenario::spawn_fwd(ScenarioHarness& h, int job, int dc, int mb,
+                                   int hop, Time start) {
+  h.spawn({stage_host(job, hop, dc), stage_host(job, hop + 1, dc), act_bytes_, start,
+           false},
+          gpu_tag(kFwd, job, dc, mb, hop));
+}
+
+void GpuClusterScenario::spawn_bwd(ScenarioHarness& h, int job, int dc, int hop,
+                                   Time start) {
+  // The backward wave is one aggregated transfer per hop (all microbatches'
+  // activation gradients), walking the stages in reverse.
+  h.spawn({stage_host(job, hop + 1, dc), stage_host(job, hop, dc),
+           act_bytes_ * static_cast<unsigned>(microbatches_), start, false},
+          gpu_tag(kBwd, job, dc, 0, hop));
+}
+
+bool GpuClusterScenario::mark_grad_ready(Job& j, int stage, Time t) const {
+  Time& ready = j.grad_ready_time[static_cast<std::size_t>(stage)];
+  ready = std::max(ready, t);
+  return ++j.grad_ready[static_cast<std::size_t>(stage)] == env().hosts.num_dcs;
+}
+
+void GpuClusterScenario::spawn_grads(ScenarioHarness& h, int job, int stage,
+                                     Time ready) {
+  const int num_dcs = env().hosts.num_dcs;
+  const std::uint64_t bucket_bytes = std::max<std::uint64_t>(
+      grad_bytes_ / static_cast<unsigned>(pp_stages_ * buckets_), 1);
+  for (int b = 0; b < buckets_; ++b)
+    for (int phase = 0; phase < 2; ++phase)  // RS then AG ring passes
+      for (int dc = 0; dc < num_dcs; ++dc)
+        h.spawn({stage_host(job, stage, dc), stage_host(job, stage, (dc + 1) % num_dcs),
+                 bucket_bytes, ready, true},
+                gpu_tag(kGrad, job, dc, b, stage));
+}
+
+void GpuClusterScenario::on_flow_complete(const FlowResult& r, std::uint64_t tag,
+                                          ScenarioHarness& h) {
+  const auto kind = tag >> 32;
+  const int job = static_cast<int>((tag >> 24) & 0xff);
+  const int dc = static_cast<int>((tag >> 16) & 0xff);
+  const int mb = static_cast<int>((tag >> 8) & 0xff);
+  const int hop = static_cast<int>(tag & 0xff);
+  Job& j = job_state_[static_cast<std::size_t>(job)];
+  const Time fin = flow_finish_time(r);
+
+  if (kind == kFwd) {
+    // Pipeline: this microbatch moves to the next hop; hop 0 freeing up
+    // admits the next microbatch into the pipeline.
+    if (hop == 0 && mb + 1 < microbatches_) spawn_fwd(h, job, dc, mb + 1, 0, fin);
+    if (hop + 1 <= pp_stages_ - 2) {
+      spawn_fwd(h, job, dc, mb, hop + 1, fin);
+    } else if (++j.fwd_arrived[static_cast<std::size_t>(dc)] == microbatches_) {
+      // All microbatches through this DC's pipeline: the last stage starts
+      // its backward pass — its gradients are the first ready — and the
+      // backward wave walks toward stage 0.
+      if (mark_grad_ready(j, pp_stages_ - 1, fin))
+        spawn_grads(h, job, pp_stages_ - 1,
+                    j.grad_ready_time[static_cast<std::size_t>(pp_stages_ - 1)] +
+                        nvlink_delay());
+      spawn_bwd(h, job, dc, pp_stages_ - 2, fin);
+    }
+    return;
+  }
+
+  if (kind == kBwd) {
+    // Backward hop `hop` landed: stage `hop` now has what it needs to run
+    // its backward pass in this DC. Its gradients join the cross-DC
+    // allreduce once every DP replica (= every DC) reaches the same point —
+    // that barrier is the collective's semantics.
+    if (mark_grad_ready(j, hop, fin))
+      spawn_grads(h, job, hop,
+                  j.grad_ready_time[static_cast<std::size_t>(hop)] + nvlink_delay());
+    if (hop > 0) spawn_bwd(h, job, dc, hop - 1, fin);
+    return;
+  }
+
+  // kGrad: one ring exchange done.
+  last_completion_ = std::max(last_completion_, fin);
+  if (--j.grad_outstanding > 0) return;
+  if (++jobs_finished_ < jobs_) return;
+  iteration_times_.push_back(last_completion_ - iteration_start_);
+  if (++iterations_done_ < iterations_)
+    start_iteration(h, last_completion_ + compute_time_);
+}
+
+bool GpuClusterScenario::done() const { return iterations_done_ == iterations_; }
+
+void GpuClusterScenario::report(MetricRegistry& m) const {
+  m.set_counter("scenario.gpu_cluster.iterations", iteration_times_.size());
+  m.set_gauge("scenario.gpu_cluster.mean_iter_us", mean_us(iteration_times_));
+  m.set_gauge("scenario.gpu_cluster.nvlink_delay_us", to_microseconds(nvlink_delay()));
+}
+
+// ---------------------------------------------------------------------------
+
+void register_builtin_scenarios(ScenarioRegistry& r) {
+  r.add(&make_scenario<PoissonScenario>);
+  r.add(&make_scenario<IncastScenario>);
+  r.add(&make_scenario<PermutationScenario>);
+  r.add(&make_scenario<ReplayScenario>);
+  r.add(&make_scenario<AllreduceScenario>);
+  r.add(&make_scenario<GpuClusterScenario>);
+  r.add(&make_scenario<TornadoScenario>);
+  r.add(&make_scenario<ShiftScenario>);
+  r.add(&make_scenario<RpcChurnScenario>);
+  // Farm specs historically said "web" for the websearch-CDF Poisson mix.
+  r.add_alias("web", "poisson");
+}
+
+}  // namespace uno

@@ -14,7 +14,6 @@ std::vector<FlowSpec> make_incast(const HostSpace& hosts, int receiver, int intr
                                   int inter_senders, std::uint64_t flow_bytes, Time start) {
   std::vector<FlowSpec> specs;
   const int rdc = hosts.dc_of(receiver);
-  const int other_dc = (rdc + 1) % hosts.num_dcs;
   // Deterministic sender placement: walk host ids, skipping the receiver.
   int placed = 0;
   for (int i = 0; placed < intra_senders; ++i) {
@@ -23,8 +22,13 @@ std::vector<FlowSpec> make_incast(const HostSpace& hosts, int receiver, int intr
     specs.push_back({h, receiver, flow_bytes, start, false});
     ++placed;
   }
+  // Remote senders round-robin over every other DC (reduces to "the other
+  // DC" at num_dcs == 2, which the 2-DC goldens pin down).
+  assert(inter_senders == 0 || hosts.num_dcs >= 2);
+  const int other_dcs = std::max(hosts.num_dcs - 1, 1);
   for (int i = 0; i < inter_senders; ++i) {
-    const int h = other_dc * hosts.hosts_per_dc + (i % hosts.hosts_per_dc);
+    const int dc = (rdc + 1 + i % other_dcs) % hosts.num_dcs;
+    const int h = dc * hosts.hosts_per_dc + ((i / other_dcs) % hosts.hosts_per_dc);
     specs.push_back({h, receiver, flow_bytes, start, true});
   }
   return specs;
@@ -67,9 +71,18 @@ void emit_poisson(const HostSpace& hosts, const EmpiricalCdf& sizes, double byte
 
   double t = rng.exponential(mean_gap_ps);
   while (t < static_cast<double>(duration)) {
-    // Active hosts are the first `per_dc` hosts of each DC.
+    // Active hosts are the first `per_dc` hosts of each DC. Cross-DC
+    // destinations draw uniformly over the other DCs; the num_dcs == 2 case
+    // takes the branchless path so it consumes the exact RNG stream the 2-DC
+    // goldens were minted against (uniform_below burns a draw even for n==1).
     const int sdc = static_cast<int>(rng.uniform_below(hosts.num_dcs));
-    const int ddc = cross_dc ? (sdc + 1) % hosts.num_dcs : sdc;
+    const int ddc =
+        cross_dc ? (sdc + 1 +
+                    (hosts.num_dcs > 2
+                         ? static_cast<int>(rng.uniform_below(hosts.num_dcs - 1))
+                         : 0)) %
+                       hosts.num_dcs
+                 : sdc;
     int src = sdc * hosts.hosts_per_dc + static_cast<int>(rng.uniform_below(per_dc));
     int dst = ddc * hosts.hosts_per_dc + static_cast<int>(rng.uniform_below(per_dc));
     while (dst == src)

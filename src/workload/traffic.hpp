@@ -33,8 +33,8 @@ struct HostSpace {
 };
 
 /// N senders -> one receiver, all starting together (Figs 3 and 8).
-/// `intra_senders` come from the receiver's DC, `inter_senders` from the
-/// other one; senders are distinct hosts chosen deterministically.
+/// `intra_senders` come from the receiver's DC, `inter_senders` round-robin
+/// over every other DC; senders are distinct hosts chosen deterministically.
 std::vector<FlowSpec> make_incast(const HostSpace& hosts, int receiver, int intra_senders,
                                   int inter_senders, std::uint64_t flow_bytes,
                                   Time start = 0);

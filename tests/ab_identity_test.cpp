@@ -22,6 +22,7 @@
 
 #include "core/experiment.hpp"
 #include "net/loss.hpp"
+#include "workload/scenario.hpp"
 #include "workload/traffic.hpp"
 
 namespace uno {
@@ -175,6 +176,48 @@ TEST(AbIdentity, MeshFourDcGolden) {
     const RunDigest got = run_mesh4(shards);
     if (shards == 1)
       print_or_check("mesh4_hetero", got, want);
+    else
+      EXPECT_EQ(got, want) << "sharded run diverged from the monolithic golden";
+  }
+}
+
+/// Closed-loop scenario through the ScenarioHarness sync grid: a small
+/// gpu_cluster run (pipeline forward/backward chains, NVLink-delayed
+/// cross-DC gradient rings — every flow spawned in *reaction* to another
+/// flow finishing). Pins the harness's canonical-delivery contract to a
+/// golden: sharded reaction timing must reproduce the monolithic run bit
+/// for bit, not just statistically.
+RunDigest run_gpu_cluster(int shards) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  cfg.shards = shards;
+  Experiment ex(cfg);
+  std::unique_ptr<Scenario> sc = ScenarioRegistry::instance().create("gpu_cluster");
+  EXPECT_NE(sc, nullptr);
+  std::string err;
+  EXPECT_TRUE(sc->set_options({{"jobs", "2"}, {"pp-stages", "2"}, {"microbatches", "2"},
+                               {"buckets", "2"}, {"iterations", "1"},
+                               {"act-mb", "1"}, {"size-mb", "8"}},
+                              &err))
+      << err;
+  ScenarioEnv env;
+  env.hosts = HostSpace{16, 2};
+  env.seed = cfg.seed;
+  EXPECT_TRUE(sc->init(env, &err)) << err;
+  ScenarioHarness harness(ex, *sc);
+  EXPECT_TRUE(harness.run(20 * kSecond));
+  return digest_of(ex);
+}
+
+TEST(AbIdentity, GpuClusterScenarioGolden) {
+  const RunDigest want{794606ull,         5824000000,           101270478255ull,
+                       14779931097824780237ull, 24576ull, 0ull, 0ull, 0ull};
+  for (int shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const RunDigest got = run_gpu_cluster(shards);
+    if (shards == 1)
+      print_or_check("gpu_cluster_scn", got, want);
     else
       EXPECT_EQ(got, want) << "sharded run diverged from the monolithic golden";
   }

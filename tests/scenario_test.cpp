@@ -1,0 +1,256 @@
+// Scenario API tests (DESIGN.md §16): registry behavior (registration,
+// duplicate rejection, aliases, did-you-mean), the --scenario-opt grammar,
+// option-schema round-trips through set_options, resolve-time validation,
+// and the closed-loop determinism contract — ScenarioHarness digests must be
+// bit-identical across --shards {1,2,4} and across repeat runs (which is
+// what makes --jobs batch parallelism trivially safe: each run's content is
+// a pure function of its cell, not of scheduling).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "workload/scenario.hpp"
+#include "workload/scenario_lib.hpp"
+
+namespace uno {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(ScenarioRegistry, BuiltinsRegisterUnderTheirNames) {
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  for (const char* name : {"poisson", "incast", "permutation", "replay",
+                           "allreduce", "gpu_cluster", "tornado", "shift",
+                           "rpc_churn"}) {
+    EXPECT_TRUE(reg.known(name)) << name;
+    auto sc = reg.create(name);
+    ASSERT_NE(sc, nullptr) << name;
+    EXPECT_EQ(sc->name(), name);
+    EXPECT_FALSE(sc->summary().empty()) << name;
+  }
+  EXPECT_TRUE(reg.known("web"));  // alias of poisson
+  EXPECT_EQ(reg.create("web")->name(), "poisson");
+}
+
+TEST(ScenarioRegistry, DuplicateNameIsRejected) {
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  const std::size_t before = reg.names().size();
+  ScenarioRegistry::Factory again = [] {
+    return std::unique_ptr<Scenario>(new AllreduceScenario());
+  };
+  EXPECT_FALSE(reg.add(again));  // "allreduce" already registered
+  EXPECT_EQ(reg.names().size(), before);
+}
+
+TEST(ScenarioRegistry, AliasRules) {
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  EXPECT_FALSE(reg.add_alias("poisson", "incast"));  // shadows a real name
+  EXPECT_FALSE(reg.add_alias("web", "incast"));      // alias already taken
+  EXPECT_FALSE(reg.add_alias("x", "no_such"));       // dangling target
+  EXPECT_TRUE(reg.add_alias("uniform", "permutation"));
+  EXPECT_EQ(reg.create("uniform")->name(), "permutation");
+}
+
+TEST(ScenarioRegistry, UnknownNameIsNullWithSuggestion) {
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  EXPECT_EQ(reg.create("posson"), nullptr);
+  EXPECT_EQ(reg.suggest("posson"), "poisson");
+  EXPECT_EQ(reg.suggest("tornaod"), "tornado");
+  EXPECT_EQ(reg.suggest("qqqqqqqq"), "");  // nothing plausibly close
+}
+
+TEST(ScenarioRegistry, HelpTextListsEveryScenarioAndOption) {
+  ScenarioRegistry reg;
+  register_builtin_scenarios(reg);
+  const std::string help = reg.help_text();
+  for (const std::string& name : reg.names())
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  EXPECT_NE(help.find("--scenario-opt"), std::string::npos);
+  EXPECT_NE(help.find("alias of poisson"), std::string::npos);
+  EXPECT_NE(help.find("pp-stages"), std::string::npos);  // scoped option shown
+}
+
+// ----------------------------------------------------------------- options
+
+TEST(ScenarioOpts, ParsesKeyValueList) {
+  std::vector<ScenarioOption> kvs;
+  std::string err;
+  ASSERT_TRUE(parse_scenario_opts("a=1,b=x=y,c=", &kvs, &err));
+  ASSERT_EQ(kvs.size(), 3u);
+  EXPECT_EQ(kvs[0], (ScenarioOption{"a", "1"}));
+  EXPECT_EQ(kvs[1], (ScenarioOption{"b", "x=y"}));  // '=' allowed in values
+  EXPECT_EQ(kvs[2], (ScenarioOption{"c", ""}));
+  kvs.clear();
+  ASSERT_TRUE(parse_scenario_opts("", &kvs, &err));
+  EXPECT_TRUE(kvs.empty());
+}
+
+TEST(ScenarioOpts, RejectsMalformedItems) {
+  std::vector<ScenarioOption> kvs;
+  std::string err;
+  EXPECT_FALSE(parse_scenario_opts("noequals", &kvs, &err));
+  EXPECT_NE(err.find("noequals"), std::string::npos);
+  EXPECT_FALSE(parse_scenario_opts("=value", &kvs, &err));
+  EXPECT_FALSE(parse_scenario_opts("a=1,,b=2", &kvs, &err));
+}
+
+TEST(ScenarioOpts, SchemaRoundTripThroughSetOptions) {
+  auto sc = ScenarioRegistry::instance().create("allreduce");
+  ASSERT_NE(sc, nullptr);
+  std::string err;
+  ASSERT_TRUE(sc->set_options({{"groups", "4"}, {"size-mb", "16"}}, &err)) << err;
+  EXPECT_EQ(sc->options().num("groups"), 4);
+  EXPECT_EQ(sc->options().num("size-mb"), 16);
+  EXPECT_TRUE(sc->options().has("groups"));
+  EXPECT_FALSE(sc->options().has("iterations"));  // untouched default
+  // Later assignments win — the forwarding precedence.
+  ASSERT_TRUE(sc->set_options({{"groups", "2"}}, &err)) << err;
+  EXPECT_EQ(sc->options().num("groups"), 2);
+}
+
+TEST(ScenarioOpts, UnknownKeyFailsWithDidYouMean) {
+  auto sc = ScenarioRegistry::instance().create("allreduce");
+  std::string err;
+  EXPECT_FALSE(sc->set_options({{"goups", "4"}}, &err));
+  EXPECT_NE(err.find("groups"), std::string::npos) << err;
+}
+
+TEST(ScenarioOpts, ResolveValidatesConfiguration) {
+  ScenarioEnv env;
+  env.hosts = HostSpace{16, 2};
+  std::string err;
+  auto sc = ScenarioRegistry::instance().create("gpu_cluster");
+  ASSERT_TRUE(sc->set_options({{"pp-stages", "1"}}, &err)) << err;
+  EXPECT_FALSE(sc->init(env, &err));  // pipeline needs >= 2 stages
+  EXPECT_FALSE(err.empty());
+
+  auto too_big = ScenarioRegistry::instance().create("gpu_cluster");
+  err.clear();
+  ASSERT_TRUE(too_big->set_options({{"jobs", "8"}, {"pp-stages", "4"}}, &err));
+  EXPECT_FALSE(too_big->init(env, &err));  // 32 stage hosts > 16 per DC
+}
+
+TEST(ScenarioOpts, FlowFinishTimeIsStartPlusDuration) {
+  FlowResult r{};
+  r.start_time = 5 * kMicrosecond;
+  r.completion_time = 7 * kMicrosecond;  // the FCT *duration*
+  EXPECT_EQ(flow_finish_time(r), 12 * kMicrosecond);
+}
+
+// ----------------------------------------------------- harness determinism
+
+struct RunDigest {
+  std::size_t flows = 0;
+  Time sim_end = 0;
+  std::uint64_t fct_sum = 0;
+  std::uint64_t fct_hash = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+/// One full scenario run at a given shard count; digest of the canonical
+/// FCT record. Mirrors what `uno_sim --digest` prints.
+RunDigest run_scenario(const std::string& name,
+                       const std::vector<ScenarioOption>& kvs, int shards,
+                       int num_dcs = 2) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  cfg.shards = shards;
+  cfg.uno.num_dcs = num_dcs;
+  Experiment ex(cfg);
+
+  auto sc = ScenarioRegistry::instance().create(name);
+  EXPECT_NE(sc, nullptr) << name;
+  std::string err;
+  EXPECT_TRUE(sc->set_options(kvs, &err)) << err;
+  ScenarioEnv env;
+  env.hosts = HostSpace{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
+  env.seed = cfg.seed;
+  env.host_rate = cfg.uno.link_rate;
+  EXPECT_TRUE(sc->init(env, &err)) << err;
+
+  ScenarioHarness harness(ex, *sc);
+  EXPECT_TRUE(harness.run(20 * kSecond)) << name << " did not complete";
+
+  RunDigest d;
+  d.flows = ex.fct().results().size();
+  d.sim_end = ex.now();
+  for (const FlowResult& r : ex.fct().results()) {
+    d.fct_sum += static_cast<std::uint64_t>(r.completion_time);
+    d.fct_hash = d.fct_hash * 1315423911ull +
+                 static_cast<std::uint64_t>(r.completion_time);
+  }
+  return d;
+}
+
+void expect_shard_identical(const std::string& name,
+                            const std::vector<ScenarioOption>& kvs,
+                            int num_dcs = 2) {
+  const RunDigest base = run_scenario(name, kvs, 1, num_dcs);
+  EXPECT_GT(base.flows, 0u) << name;
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+    EXPECT_EQ(run_scenario(name, kvs, shards, num_dcs), base);
+  }
+  // Repeat-run identity: per-run content is a pure function of the cell, so
+  // batch --jobs parallelism (independent runs on worker threads) cannot
+  // perturb it.
+  EXPECT_EQ(run_scenario(name, kvs, 1, num_dcs), base);
+}
+
+TEST(ScenarioDeterminism, AllreduceShardIdentical) {
+  expect_shard_identical(
+      "allreduce", {{"groups", "4"}, {"size-mb", "4"}, {"iterations", "2"}});
+}
+
+TEST(ScenarioDeterminism, GpuClusterShardIdentical) {
+  expect_shard_identical("gpu_cluster",
+                         {{"jobs", "2"}, {"pp-stages", "2"}, {"microbatches", "2"},
+                          {"buckets", "2"}, {"iterations", "1"},
+                          {"act-mb", "1"}, {"size-mb", "8"}});
+}
+
+TEST(ScenarioDeterminism, RpcChurnShardIdentical) {
+  expect_shard_identical(
+      "rpc_churn", {{"load", "0.1"}, {"duration-ms", "0.5"}, {"active-hosts", "8"}});
+}
+
+TEST(ScenarioDeterminism, TornadoShardIdenticalAtFourDcs) {
+  expect_shard_identical(
+      "tornado", {{"rounds", "2"}, {"size-mb", "1"}, {"inter-frac", "0.25"}},
+      /*num_dcs=*/4);
+}
+
+TEST(ScenarioDeterminism, ClosedLoopMetricsReported) {
+  ExperimentConfig cfg;
+  cfg.seed = 1;
+  cfg.fattree_k = 4;
+  Experiment ex(cfg);
+  auto sc = ScenarioRegistry::instance().create("allreduce");
+  std::string err;
+  ASSERT_TRUE(sc->set_options(
+      {{"groups", "2"}, {"size-mb", "4"}, {"iterations", "3"}}, &err));
+  ScenarioEnv env;
+  env.hosts = HostSpace{16, 2};
+  ASSERT_TRUE(sc->init(env, &err)) << err;
+  ScenarioHarness harness(ex, *sc);
+  ASSERT_TRUE(harness.run(20 * kSecond));
+  // 3 iterations x 2 groups x 2 phases x 2 directions.
+  EXPECT_EQ(harness.spawned(), 24u);
+  MetricRegistry m;
+  sc->report(m);
+  EXPECT_EQ(m.counter("scenario.allreduce.iterations"), 3u);
+  EXPECT_GT(m.gauge("scenario.allreduce.mean_iter_us"), 0);
+}
+
+}  // namespace
+}  // namespace uno

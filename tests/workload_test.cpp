@@ -3,11 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "workload/allreduce.hpp"
 #include "workload/cdf.hpp"
 #include "workload/traffic.hpp"
+
+// The legacy AllreduceDriver tests below cover the deprecated shim until it
+// is removed next PR.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace uno {
 namespace {
@@ -73,6 +79,25 @@ TEST(Incast, MixedSendersFromBothDcs) {
   EXPECT_EQ(intra, 4);
   EXPECT_EQ(inter, 4);
   EXPECT_EQ(senders.size(), 8u);  // distinct senders
+}
+
+TEST(Incast, InterSendersRoundRobinOverAllOtherDcs) {
+  // Regression for the old 2-DC assumption: at 4 DCs the inter senders must
+  // spread over every *other* DC, not all pile into DC (rdc + 1).
+  HostSpace hosts{16, 4};
+  auto specs = make_incast(hosts, /*receiver=*/3, 2, 6, 1 << 20);
+  ASSERT_EQ(specs.size(), 8u);
+  std::set<int> senders;
+  std::map<int, int> per_dc;  // inter senders per source DC
+  for (const FlowSpec& s : specs) {
+    EXPECT_EQ(s.dst, 3);
+    EXPECT_NE(s.src, 3);
+    senders.insert(s.src);
+    if (s.interdc) per_dc[hosts.dc_of(s.src)]++;
+  }
+  EXPECT_EQ(senders.size(), 8u);
+  ASSERT_EQ(per_dc.size(), 3u);  // DCs 1, 2, 3 all represented
+  for (int d : {1, 2, 3}) EXPECT_EQ(per_dc[d], 2) << "dc " << d;
 }
 
 TEST(Permutation, EveryHostSendsOnceNoSelfLoops) {
@@ -141,6 +166,24 @@ TEST(Poisson, ArrivalsSortedAndInWindow) {
   for (std::size_t i = 1; i < specs.size(); ++i)
     EXPECT_GE(specs[i].start_time, specs[i - 1].start_time);
   EXPECT_LT(specs.back().start_time, cfg.duration);
+}
+
+TEST(Poisson, CrossDcDestinationsSpreadAtFourDcs) {
+  // Regression for the old "the other DC" assumption: cross-DC arrivals must
+  // pick uniformly among all *other* DCs, never the source's own.
+  HostSpace hosts{32, 4};
+  PoissonConfig cfg;
+  cfg.load = 0.3;
+  cfg.duration = 20 * kMillisecond;
+  auto specs = make_poisson_mixed(hosts, EmpiricalCdf::google_rpc(),
+                                  EmpiricalCdf::google_rpc(), cfg);
+  std::set<std::pair<int, int>> dc_pairs;
+  for (const FlowSpec& s : specs) {
+    EXPECT_EQ(s.interdc, hosts.dc_of(s.src) != hosts.dc_of(s.dst));
+    if (s.interdc) dc_pairs.emplace(hosts.dc_of(s.src), hosts.dc_of(s.dst));
+  }
+  // All 12 ordered cross-DC pairs show up in a 20 ms window.
+  EXPECT_EQ(dc_pairs.size(), 12u);
 }
 
 TEST(Poisson, ActiveHostSubsetRespected) {

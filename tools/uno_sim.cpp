@@ -1,14 +1,22 @@
 // uno_sim — command-line driver for ad-hoc simulations.
 //
-// Runs any catalogued scheme against any built-in workload on a configurable
-// multi-DC topology and prints an FCT summary. Examples:
+// Runs any catalogued scheme against any registered workload scenario on a
+// configurable multi-DC topology and prints an FCT summary. Examples:
 //
-//   uno_sim --scheme uno --workload poisson --load 0.4 --duration-ms 5
-//   uno_sim --scheme gemini --workload incast --flows 8 --size-mb 16
-//   uno_sim --scheme mprdma+bbr --workload permutation --size-mb 4
-//   uno_sim --scheme uno --workload poisson --rtt-ratio 512 --fail-links 2
+//   uno_sim --scheme uno --scenario poisson --load 0.4 --duration-ms 5
+//   uno_sim --scheme gemini --scenario incast --flows 8 --size-mb 16
+//   uno_sim --scheme uno --scenario gpu_cluster --scenario-opt jobs=4,pp-stages=4
+//   uno_sim --scheme uno --scenario tornado --scenario-opt stride=3,inter-frac=0.5
+//   uno_sim --scheme uno --scenario allreduce --quick --digest
+//   uno_sim --scheme uno --scenario poisson --rtt-ratio 512 --fail-links 2
 //   uno_sim --scheme uno --fault "2ms down border:0"
 //   uno_sim --scheme uno --trace out.json --trace-categories cc,queue
+//
+// Workloads come from the Scenario registry (workload/scenario.hpp):
+// --list-scenarios prints every registered scenario with its scoped option
+// table; --scenario-opt key=value[,key=value...] sets those options, and
+// top-level knobs (--load, --size-mb, --flows, ...) forward into the
+// scenario when explicitly set. --workload remains as the legacy spelling.
 //
 // Batch mode: --seeds and/or --sweep expand one configuration into a list of
 // independent runs, executed on --jobs worker threads (each run owns its
@@ -40,7 +48,7 @@
 #include "obs/trace.hpp"
 #include "stats/resilience.hpp"
 #include "stats/summary.hpp"
-#include "workload/cdf.hpp"
+#include "workload/scenario.hpp"
 #include "workload/traffic.hpp"
 
 using namespace uno;
@@ -162,6 +170,9 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   cfg.seed = rp.seed;
   cfg.shards = static_cast<int>(opts.num("shards"));
   cfg.uno.fattree_k = static_cast<int>(opts.num("k"));
+  // The smoke preset shrinks the topology unless the user sized it.
+  if (opts.flag("quick") && !opts.has("k") && !opts.has("hosts-per-dc"))
+    cfg.uno.fattree_k = 4;
   const auto hosts = static_cast<std::int64_t>(opts.num("hosts-per-dc"));
   if (hosts > 0) cfg.uno.fattree_k = k_for_hosts(hosts);
   cfg.uno.num_dcs = static_cast<int>(opts.num("dcs"));
@@ -184,37 +195,77 @@ ExperimentConfig build_config(const OptionSet& opts, const RunParams& rp,
   return cfg;
 }
 
-/// Build the workload's flow list, or return false with an error message.
-bool build_specs(const OptionSet& opts, const RunParams& rp, const HostSpace& hosts,
-                 std::vector<FlowSpec>* specs, std::string* err) {
-  const std::string workload = opts.str("workload");
-  const auto size_bytes = static_cast<std::uint64_t>(rp.size_mb * (1 << 20));
-  if (workload == "poisson") {
-    PoissonConfig pc;
-    pc.load = rp.load;
-    pc.duration = static_cast<Time>(opts.num("duration-ms") * kMillisecond);
-    pc.active_hosts = static_cast<int>(opts.num("active-hosts"));
-    pc.seed = rp.seed;
-    const double ss = opts.num("size-scale");
-    *specs = make_poisson_mixed(hosts, EmpiricalCdf::websearch().scaled(ss),
-                                EmpiricalCdf::alibaba_wan().scaled(ss), pc);
-  } else if (workload == "incast") {
-    const int n = rp.flows;
-    *specs = make_incast(hosts, 0, n / 2, n - n / 2, size_bytes);
-  } else if (workload == "permutation") {
-    *specs = make_permutation(hosts, size_bytes, rp.seed);
-  } else if (workload == "replay") {
-    const std::string replay = opts.str("replay");
-    if (replay.empty()) {
-      *err = "--workload replay requires --replay FILE";
-      return false;
-    }
-    *specs = load_flow_specs_csv(replay, hosts);
-  } else {
-    *err = "unknown workload: " + workload;
-    return false;
+/// The requested scenario name: --scenario wins, --workload is the legacy
+/// spelling that resolves through the same registry.
+std::string scenario_name(const OptionSet& opts) {
+  return opts.has("scenario") ? opts.str("scenario") : opts.str("workload");
+}
+
+/// Create, configure, and init the run's scenario. Top-level knobs forward
+/// into the scenario's scoped table when the user set them (or a sweep
+/// changed them); --scenario-opt assignments come last and win.
+std::unique_ptr<Scenario> make_scenario(const OptionSet& opts, const RunParams& rp,
+                                        const ScenarioEnv& env, std::string* err) {
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
+  const std::string name = scenario_name(opts);
+  std::unique_ptr<Scenario> sc = reg.create(name);
+  if (sc == nullptr) {
+    *err = "unknown scenario: " + name;
+    const std::string near = reg.suggest(name);
+    if (!near.empty()) *err += " (did you mean " + near + "?)";
+    *err += "; see --list-scenarios";
+    return nullptr;
   }
-  return true;
+  std::vector<ScenarioOption> kvs;
+  auto fwd = [&](const std::string& key, double v, bool set) {
+    // Forwarding only explicitly-set knobs keeps the scenario's own defaults
+    // live — including their --quick scaling.
+    if (!set || !sc->options().known(key)) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    kvs.emplace_back(key, buf);
+  };
+  fwd("load", rp.load, opts.has("load") || rp.load != opts.num("load"));
+  fwd("size-mb", rp.size_mb, opts.has("size-mb") || rp.size_mb != opts.num("size-mb"));
+  fwd("flows", rp.flows,
+      opts.has("flows") || rp.flows != static_cast<int>(opts.num("flows")));
+  for (const char* key : {"duration-ms", "active-hosts", "size-scale"})
+    fwd(key, opts.num(key), opts.has(key));
+  if (opts.has("replay") && sc->options().known("file"))
+    kvs.emplace_back("file", opts.str("replay"));
+  if (opts.has("scenario-opt") &&
+      !parse_scenario_opts(opts.str("scenario-opt"), &kvs, err))
+    return nullptr;
+  if (!sc->set_options(kvs, err) || !sc->init(env, err)) {
+    *err = "scenario " + name + ": " + *err;
+    return nullptr;
+  }
+  return sc;
+}
+
+/// One line that is bit-identical across --shards and --jobs for a
+/// deterministic run: flow count, event count, end time, and an
+/// order-sensitive hash over the canonicalized FCT records. CI's
+/// workload-smoke job diffs this line between shard counts.
+std::string run_digest(Experiment& ex) {
+  std::uint64_t fct_sum = 0;
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const FlowResult& r : ex.fct().results()) {
+    // completion_time is the FCT duration (see transport/flow.hpp).
+    fct_sum += static_cast<std::uint64_t>(r.completion_time);
+    hash = (hash ^ r.id) * 1315423911ull;
+    hash = (hash ^ static_cast<std::uint64_t>(r.completion_time)) * 1315423911ull;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "digest: flows=%zu events=%llu sim_end=%llu fct_sum=%llu "
+                "fct_hash=%016llx",
+                ex.fct().results().size(),
+                static_cast<unsigned long long>(ex.events_dispatched()),
+                static_cast<unsigned long long>(ex.now()),
+                static_cast<unsigned long long>(fct_sum),
+                static_cast<unsigned long long>(hash));
+  return buf;
 }
 
 /// Table-1 burst loss on every cross-DC link, scaled by --loss-scale.
@@ -231,8 +282,9 @@ void apply_loss_scale(Experiment& ex, std::uint64_t seed, double loss_scale) {
 }
 
 /// Trace + metrics export for one finished experiment; file paths already
-/// resolved (batch runs pass indexed names).
-bool export_obs(Experiment& ex, const std::string& trace_file,
+/// resolved (batch runs pass indexed names). Scenario-level metrics merge
+/// into the same JSON under the scenario's own "scenario.*" keys.
+bool export_obs(Experiment& ex, const Scenario* sc, const std::string& trace_file,
                 const std::string& metrics_file, std::string* err) {
   if (!trace_file.empty()) {
     if (ex.tracer() == nullptr || !ex.tracer()->write_chrome_trace(trace_file)) {
@@ -243,6 +295,7 @@ bool export_obs(Experiment& ex, const std::string& trace_file,
   if (!metrics_file.empty()) {
     MetricRegistry m;
     ex.snapshot_metrics(m);
+    if (sc != nullptr) sc->report(m);
     if (!m.write_json(metrics_file)) {
       *err = "cannot write metrics file: " + metrics_file;
       return false;
@@ -259,6 +312,7 @@ struct RunRow {
   FctSummary all, intra, inter;
   std::uint64_t drops = 0, trims = 0;
   double sim_ms = 0;
+  std::string digest;  // filled when --digest is set
   std::string error;
 };
 
@@ -271,11 +325,12 @@ RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faul
   Experiment ex(cfg);
   const HostSpace hosts{ex.topo().hosts_per_dc(), ex.topo().num_dcs()};
   apply_loss_scale(ex, cfg.seed, opts.num("loss-scale"));
-  std::vector<FlowSpec> specs;
-  if (!build_specs(opts, rp, hosts, &specs, &row.error)) return row;
-  ex.spawn_all(specs);
+  const ScenarioEnv env{hosts, cfg.seed, cfg.uno.link_rate, opts.flag("quick")};
+  std::unique_ptr<Scenario> sc = make_scenario(opts, rp, env, &row.error);
+  if (sc == nullptr) return row;
+  ScenarioHarness harness(ex, *sc);
   const Time deadline = static_cast<Time>(opts.num("deadline-ms") * kMillisecond);
-  row.done = ex.run_to_completion(deadline);
+  row.done = harness.run(deadline);
   row.spawned = ex.flows_spawned();
   row.completed = ex.flows_completed();
   row.all = ex.fct().summarize();
@@ -284,11 +339,12 @@ RunRow run_one(const OptionSet& opts, const RunParams& rp, const FaultPlan& faul
   row.drops = ex.topo().total_drops();
   row.trims = ex.topo().total_trims();
   row.sim_ms = to_milliseconds(ex.now());
+  if (opts.flag("digest")) row.digest = run_digest(ex);
   const std::string trace_file =
       obs.trace_file.empty() ? std::string{} : indexed_path(obs.trace_file, index);
   const std::string metrics_file =
       obs.metrics_file.empty() ? std::string{} : indexed_path(obs.metrics_file, index);
-  export_obs(ex, trace_file, metrics_file, &row.error);
+  export_obs(ex, sc.get(), trace_file, metrics_file, &row.error);
   return row;
 }
 
@@ -372,9 +428,9 @@ int run_batch(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& 
     }
   }
 
-  std::printf("batch: %zu runs on %d worker(s), scheme=%s workload=%s\n", plan.size(),
+  std::printf("batch: %zu runs on %d worker(s), scheme=%s scenario=%s\n", plan.size(),
               resolve_jobs(jobs), opts.str("scheme").c_str(),
-              opts.str("workload").c_str());
+              scenario_name(opts).c_str());
   const auto rows = parallel_map(jobs, plan.size(), [&](std::size_t i) {
     return run_one(opts, plan[i].rp, faults, obs, i, plan[i].label);
   });
@@ -396,6 +452,10 @@ int run_batch(const OptionSet& opts, const FaultPlan& faults, const ObsOptions& 
                std::to_string(r.trims), Table::fmt(r.sim_ms, 2)});
   }
   t.print("batch results");
+  if (opts.flag("digest"))
+    for (const RunRow& r : rows)
+      std::printf("%s%s%s\n", r.label.c_str(), r.label.empty() ? "" : ": ",
+                  r.digest.c_str());
   if (!obs.trace_file.empty())
     std::printf("traces: %s ... (%zu files)\n", indexed_path(obs.trace_file, 0).c_str(),
                 rows.size());
@@ -413,6 +473,12 @@ int main(int argc, char** argv) {
   }
   if (opts.flag("help")) {
     std::fputs(opts.help_text().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(ScenarioRegistry::instance().help_text().c_str(), stdout);
+    return 0;
+  }
+  if (opts.flag("list-scenarios")) {
+    std::fputs(ScenarioRegistry::instance().help_text().c_str(), stdout);
     return 0;
   }
   if (opts.flag("version")) {
@@ -432,6 +498,15 @@ int main(int argc, char** argv) {
   if (!scheme_ok) {
     std::fprintf(stderr, "unknown scheme: %s (see --help for the catalogue)\n",
                  opts.str("scheme").c_str());
+    return 2;
+  }
+  // Fail fast on a bad scenario name, with the registry's did-you-mean, so
+  // batch and farm runs don't discover it one worker at a time.
+  if (!ScenarioRegistry::instance().known(scenario_name(opts))) {
+    err = "unknown scenario: " + scenario_name(opts);
+    const std::string near = ScenarioRegistry::instance().suggest(scenario_name(opts));
+    if (!near.empty()) err += " (did you mean " + near + "?)";
+    std::fprintf(stderr, "%s; see --list-scenarios\n", err.c_str());
     return 2;
   }
 
@@ -493,14 +568,17 @@ int main(int argc, char** argv) {
   }
   apply_loss_scale(ex, cfg.seed, opts.num("loss-scale"));
 
-  std::vector<FlowSpec> specs;
-  if (!build_specs(opts, base, hosts, &specs, &err)) {
+  const ScenarioEnv env{hosts, cfg.seed, cfg.uno.link_rate, opts.flag("quick")};
+  std::unique_ptr<Scenario> sc = make_scenario(opts, base, env, &err);
+  if (sc == nullptr) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
+  ScenarioHarness harness(ex, *sc);
+  harness.begin();  // open-loop scenarios spawn everything here
 
-  std::printf("scheme=%s workload=%s flows=%zu hosts=%d inter-RTT=%.2fms",
-              cfg.scheme.name.c_str(), opts.str("workload").c_str(), specs.size(),
+  std::printf("scheme=%s scenario=%s flows=%zu hosts=%d inter-RTT=%.2fms",
+              cfg.scheme.name.c_str(), sc->name().c_str(), ex.flows_spawned(),
               hosts.total(), to_milliseconds(cfg.uno.inter_rtt));
   if (cfg.shards != 1) {
     std::printf(" shards=%d", ex.shards());
@@ -508,7 +586,6 @@ int main(int argc, char** argv) {
       std::printf(" (fault plans pin the run to one shard)");
   }
   std::printf("\n");
-  ex.spawn_all(specs);
 
   // With a fault plan active, track recovery: goodput per flow, sampled
   // periodically, with the pre-fault baseline snapshotted at the first
@@ -525,7 +602,7 @@ int main(int argc, char** argv) {
   }
 
   const Time deadline = static_cast<Time>(opts.num("deadline-ms") * kMillisecond);
-  const bool done = ex.run_to_completion(deadline);
+  const bool done = harness.run(deadline);
   if (tracker) tracker->stop();
 
   Table t({"class", "count", "mean us", "p50 us", "p99 us", "max us", "mean slowdown"});
@@ -543,6 +620,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ex.topo().total_drops()),
               static_cast<unsigned long long>(ex.topo().total_trims()),
               to_milliseconds(ex.now()));
+  if (opts.flag("digest")) std::printf("%s\n", run_digest(ex).c_str());
 
   if (tracker) {
     const ResilienceSummary rs = tracker->summarize();
@@ -558,7 +636,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rs.fec_masked));
   }
 
-  if (!export_obs(ex, obs.trace_file, obs.metrics_file, &err)) {
+  if (!export_obs(ex, sc.get(), obs.trace_file, obs.metrics_file, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 2;
   }
